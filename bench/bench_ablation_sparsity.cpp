@@ -1,0 +1,111 @@
+// Ablation: zero-operand gating. Chain-NN (unlike the paper's cited
+// related work Cnvlutin [13] / EIE [14]) does not exploit sparsity; since
+// ReLU feeds every layer after the first, a large share of MACs carry a
+// zero ifmap operand. This bench measures the exact zero-MAC fraction on
+// the simulator at several activation sparsity levels and prices what
+// multiplier operand-isolation would save with the calibrated energy
+// model — a quantified "future work" extension of the paper.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "chain/accelerator.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "energy/energy_model.hpp"
+#include "nn/golden.hpp"
+#include "nn/sparsity.hpp"
+
+namespace {
+
+using namespace chainnn;
+
+// Fraction of chain (PE array) energy spent in the multiplier+adder that
+// gating can save on a zero operand (registers/mux still toggle).
+constexpr double kGateableShare = 0.55;
+
+void print_ablation() {
+  nn::ConvLayerParams layer;
+  layer.name = "conv3-like";
+  layer.in_channels = 16;
+  layer.out_channels = 24;
+  layer.in_height = layer.in_width = 13;
+  layer.kernel = 3;
+  layer.pad = 1;
+  layer.validate();
+
+  const energy::EnergyModel model = energy::EnergyModel::paper_calibrated();
+  const energy::ActivityRates rates = energy::paper_calibration_rates();
+  const energy::PowerBreakdown base = model.power(rates, 700e6, 576);
+
+  TextTable t("Ablation — zero-gating vs activation sparsity (" +
+              layer.name + ")");
+  t.set_header({"injected sparsity", "zero-MAC fraction (measured)",
+                "chain power (mW)", "chip power (mW)", "GOPS/W",
+                "bit-exact"});
+  for (const double sparsity : {0.0, 0.25, 0.5, 0.75, 0.9}) {
+    Rng rng(11);
+    Tensor<std::int16_t> x(
+        Shape{1, layer.in_channels, layer.in_height, layer.in_width});
+    Tensor<std::int16_t> w(Shape{layer.out_channels, layer.in_channels,
+                                 layer.kernel, layer.kernel});
+    x.fill_random(rng, 1, 127);  // strictly nonzero before injection
+    w.fill_random(rng, -31, 31);
+    nn::inject_sparsity(x, sparsity, 5);
+
+    // Exact zero-operand MAC count (these are the MACs the verified
+    // chain performs).
+    const nn::ZeroMacStats zs = nn::count_zero_macs(layer, x, w);
+
+    chain::AcceleratorConfig cfg;
+    chain::ChainAccelerator acc(cfg);
+    const auto res = acc.run_layer(layer, x, w);
+    const bool exact =
+        res.accumulators == nn::conv2d_fixed_accum(layer, x, w);
+
+    const double gated_chain =
+        base.chain_w * (1.0 - kGateableShare * zs.zero_fraction());
+    const double chip =
+        gated_chain + base.kmem_w + base.imem_w + base.omem_w;
+    t.add_row({strings::fmt_pct(sparsity, 0),
+               strings::fmt_pct(zs.zero_fraction(), 1),
+               strings::fmt_fixed(gated_chain * 1e3, 1),
+               strings::fmt_fixed(chip * 1e3, 1),
+               strings::fmt_fixed(
+                   energy::efficiency_gops_per_w(2.0 * 576 * 700e6, chip),
+                   1),
+               exact ? "yes" : "NO"});
+  }
+  std::cout << t.to_ascii()
+            << "zero-gating assumes " << strings::fmt_pct(kGateableShare, 0)
+            << " of PE energy (multiplier + psum adder) is isolatable on a "
+               "zero operand.\nAt typical post-ReLU sparsity (~50%) the "
+               "1421 GOPS/W chip would approach 1.9 TOPS/W —\nthe "
+               "direction the paper's related work ([13],[14]) pursues.\n\n";
+}
+
+void BM_ZeroMacCount(benchmark::State& state) {
+  nn::ConvLayerParams layer;
+  layer.in_channels = 8;
+  layer.out_channels = 8;
+  layer.in_height = layer.in_width = 16;
+  layer.kernel = 3;
+  Rng rng(1);
+  Tensor<std::int16_t> x(Shape{1, 8, 16, 16});
+  Tensor<std::int16_t> w(Shape{8, 8, 3, 3});
+  x.fill_random(rng, -64, 64);
+  w.fill_random(rng, -16, 16);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(nn::count_zero_macs(layer, x, w));
+}
+BENCHMARK(BM_ZeroMacCount)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

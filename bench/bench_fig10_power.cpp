@@ -1,0 +1,95 @@
+// Reproduces Fig. 10: the Chain-NN power breakdown (1D chain / kMemory /
+// iMemory / oMemory) and the power-efficiency comparison with DaDianNao
+// (core-only vs whole chip), plus a clock/chain-size extrapolation the
+// calibrated energy model enables.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "baseline/memory_centric.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "energy/energy_model.hpp"
+#include "report/paper_constants.hpp"
+
+namespace {
+
+using namespace chainnn;
+
+void print_fig10() {
+  const energy::EnergyModel model = energy::EnergyModel::paper_calibrated();
+  const energy::ActivityRates rates = energy::paper_calibration_rates();
+  const energy::PowerBreakdown p = model.power(rates, 700e6, 576);
+
+  TextTable t("Fig. 10 — Chain-NN power breakdown (mW)");
+  t.set_header({"component", "paper", "model", "share"});
+  const double total = p.total();
+  t.add_row({"1D chain arch.", strings::fmt_fixed(report::kChainPowerMw, 2),
+             strings::fmt_fixed(p.chain_w * 1e3, 2),
+             strings::fmt_pct(p.chain_w / total, 2)});
+  t.add_row({"kMemory", strings::fmt_fixed(report::kKmemPowerMw, 2),
+             strings::fmt_fixed(p.kmem_w * 1e3, 2),
+             strings::fmt_pct(p.kmem_w / total, 2)});
+  t.add_row({"iMemory", strings::fmt_fixed(report::kImemPowerMw, 2),
+             strings::fmt_fixed(p.imem_w * 1e3, 2),
+             strings::fmt_pct(p.imem_w / total, 2)});
+  t.add_row({"oMemory", strings::fmt_fixed(report::kOmemPowerMw, 2),
+             strings::fmt_fixed(p.omem_w * 1e3, 2),
+             strings::fmt_pct(p.omem_w / total, 2)});
+  t.add_separator();
+  t.add_row({"total", strings::fmt_fixed(report::kPowerW * 1e3, 1),
+             strings::fmt_fixed(total * 1e3, 1), "100%"});
+  std::cout << t.to_ascii() << "\n";
+
+  const double peak_ops = 2.0 * 576 * 700e6;
+  const baseline::MemoryCentricModel dadiannao;
+  TextTable c("Fig. 10 — efficiency comparison with DaDianNao (GOPS/W)");
+  c.set_header({"design", "core-only", "whole chip"});
+  c.add_row({"DaDianNao [10] (5584.9 GOPS, 15.97 W)",
+             strings::fmt_fixed(dadiannao.core_only_efficiency_gops_per_w(),
+                                1),
+             strings::fmt_fixed(dadiannao.efficiency_gops_per_w(), 1)});
+  c.add_row({"Chain-NN (806.4 GOPS, " +
+                 strings::fmt_fixed(total * 1e3, 1) + " mW)",
+             strings::fmt_fixed(
+                 energy::efficiency_gops_per_w(peak_ops, p.chain_w), 1),
+             strings::fmt_fixed(
+                 energy::efficiency_gops_per_w(peak_ops, total), 1)});
+  std::cout << c.to_ascii()
+            << "paper: DaDianNao core-only 3035.3 / total 349.7; Chain-NN "
+               "core-only 1727.8 / total 1421.0.\nThe memory-centric "
+               "design wins on core-only efficiency but pays ~88% of its "
+               "power in eDRAM;\nChain-NN moves reuse into the chain and "
+               "wins 4.1x on the whole chip.\n\n";
+
+  // Extension: model-based scaling (enabled by the calibrated model).
+  TextTable s("Extension — modelled efficiency vs chain size @700MHz");
+  s.set_header({"PEs", "peak GOPS", "power (mW)", "GOPS/W"});
+  for (const std::int64_t pes : {144, 288, 576, 1152, 2304}) {
+    const energy::PowerBreakdown ps = model.power(rates, 700e6, pes);
+    const double ops = 2.0 * static_cast<double>(pes) * 700e6;
+    s.add_row({std::to_string(pes),
+               strings::fmt_fixed(ops / 1e9, 1),
+               strings::fmt_fixed(ps.total() * 1e3, 1),
+               strings::fmt_fixed(
+                   energy::efficiency_gops_per_w(ops, ps.total()), 1)});
+  }
+  std::cout << s.to_ascii() << "\n";
+}
+
+void BM_PowerModel(benchmark::State& state) {
+  const energy::EnergyModel model = energy::EnergyModel::paper_calibrated();
+  const energy::ActivityRates rates = energy::paper_calibration_rates();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(model.power(rates, 700e6, 576));
+}
+BENCHMARK(BM_PowerModel);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig10();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

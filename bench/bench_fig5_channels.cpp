@@ -1,0 +1,93 @@
+// Reproduces the Fig. 5 analysis as an ablation: single-channel PEs reach
+// only 1/K of the dual-channel throughput (§IV.C), measured on the
+// cycle-accurate simulator (not just the analytic model).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "chain/accelerator.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "nn/golden.hpp"
+
+namespace {
+
+using namespace chainnn;
+
+struct ChannelResult {
+  std::int64_t cycles_dual = 0;
+  std::int64_t cycles_single = 0;
+  bool bit_exact = false;
+};
+
+ChannelResult run_case(std::int64_t k, std::int64_t hw) {
+  nn::ConvLayerParams p;
+  p.name = "fig5";
+  p.in_channels = 2;
+  p.out_channels = 2;
+  p.in_height = p.in_width = hw;
+  p.kernel = k;
+  p.validate();
+
+  Rng rng(static_cast<std::uint64_t>(k));
+  Tensor<std::int16_t> x(Shape{1, 2, hw, hw});
+  Tensor<std::int16_t> w(Shape{2, 2, k, k});
+  x.fill_random(rng, -64, 64);
+  w.fill_random(rng, -16, 16);
+
+  chain::AcceleratorConfig dual;
+  dual.array.num_pes = 2 * k * k;  // two primitives
+  dual.array.kmem_words_per_pe = 16;
+  chain::AcceleratorConfig single = dual;
+  single.array.dual_channel = false;
+
+  chain::ChainAccelerator ad(dual);
+  chain::ChainAccelerator as(single);
+  const auto rd = ad.run_layer(p, x, w);
+  const auto rs = as.run_layer(p, x, w);
+
+  ChannelResult res;
+  res.cycles_dual = rd.stats.stream_cycles;
+  res.cycles_single = rs.stats.stream_cycles;
+  res.bit_exact = rd.accumulators == rs.accumulators &&
+                  rd.accumulators == nn::conv2d_fixed_accum(p, x, w);
+  return res;
+}
+
+void print_fig5() {
+  TextTable t(
+      "Fig. 5 ablation — dual-channel vs single-channel PE throughput");
+  t.set_header({"K", "stream cycles (dual)", "stream cycles (single)",
+                "slowdown", "paper model (=K)", "bit-exact"});
+  for (const std::int64_t k : {2, 3, 5, 7}) {
+    const std::int64_t hw = 6 * k;
+    const ChannelResult r = run_case(k, hw);
+    const double slowdown = static_cast<double>(r.cycles_single) /
+                            static_cast<double>(r.cycles_dual);
+    t.add_row({std::to_string(k), std::to_string(r.cycles_dual),
+               std::to_string(r.cycles_single),
+               strings::fmt_fixed(slowdown, 2) + "x",
+               std::to_string(k) + "x", r.bit_exact ? "yes" : "NO"});
+  }
+  std::cout << t.to_ascii()
+            << "paper §IV.C: a one-channel PE architecture achieves only "
+               "1/K of the peak throughput;\nthe dual-channel PE restores "
+               "100% utilization at the cost of one extra ifmap channel.\n\n";
+}
+
+void BM_DualChannelSim(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_case(3, 18).cycles_dual);
+  }
+}
+BENCHMARK(BM_DualChannelSim)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig5();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

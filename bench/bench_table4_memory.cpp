@@ -1,0 +1,104 @@
+// Reproduces Table IV: memory communication breakdown (MByte) for the
+// five AlexNet conv layers at batch 4, per memory level, plus the §V.C
+// derived quantities (ifmap reuse factor (2K-1)/K and the kMemory
+// activity factor ~1/KE).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "dataflow/traffic.hpp"
+#include "nn/models.hpp"
+#include "report/paper_constants.hpp"
+
+namespace {
+
+using namespace chainnn;
+
+constexpr double kMB = 1024.0 * 1024.0;
+
+void print_table4() {
+  const dataflow::ArrayShape array;
+  const auto net = nn::alexnet();
+  const std::int64_t batch = 4;
+
+  TextTable t("Table IV — memory communication breakdown, batch 4 (MB)");
+  t.set_header({"layer", "DRAM paper", "DRAM ours", "iMem paper",
+                "iMem ours", "kMem paper", "kMem ours", "oMem paper",
+                "oMem ours"});
+  double tot[4] = {};
+  for (std::size_t i = 0; i < net.conv_layers.size(); ++i) {
+    const auto& layer = net.conv_layers[i];
+    const auto plan = dataflow::plan_layer(layer, array);
+    const auto traffic = dataflow::model_traffic(plan, batch);
+    const double dram = static_cast<double>(traffic.dram_total()) / kMB;
+    const double imem = static_cast<double>(traffic.imem_reads) / kMB;
+    const double kmem = static_cast<double>(traffic.kmem_total()) / kMB;
+    const double omem = static_cast<double>(traffic.omem_total()) / kMB;
+    const auto& paper = report::kTable4[i];
+    t.add_row({layer.name, strings::fmt_fixed(paper.dram_mb, 1),
+               strings::fmt_fixed(dram, 1),
+               strings::fmt_fixed(paper.imem_mb, 1),
+               strings::fmt_fixed(imem, 1),
+               strings::fmt_fixed(paper.kmem_mb, 1),
+               strings::fmt_fixed(kmem, 1),
+               strings::fmt_fixed(paper.omem_mb, 1),
+               strings::fmt_fixed(omem, 1)});
+    tot[0] += dram;
+    tot[1] += imem;
+    tot[2] += kmem;
+    tot[3] += omem;
+  }
+  t.add_separator();
+  t.add_row({"total", strings::fmt_fixed(report::kTable4TotalDram, 1),
+             strings::fmt_fixed(tot[0], 1),
+             strings::fmt_fixed(report::kTable4TotalImem, 1),
+             strings::fmt_fixed(tot[1], 1),
+             strings::fmt_fixed(report::kTable4TotalKmem, 1),
+             strings::fmt_fixed(tot[2], 1),
+             strings::fmt_fixed(report::kTable4TotalOmem, 1),
+             strings::fmt_fixed(tot[3], 1)});
+  std::cout << t.to_ascii()
+            << "conv1 differs by design: the paper's strided model "
+               "re-streams strips S=4 times from DRAM;\nour phase "
+               "decomposition keeps strips resident (less DRAM, more "
+               "iMemory re-reads). conv2-5 match\nthe paper's counting "
+               "rules. oMemory >> kMemory > iMemory ordering is "
+               "reproduced everywhere.\n\n";
+
+  // §V.C derived quantities.
+  TextTable d("§V.C — derived reuse/activity factors");
+  d.set_header({"layer", "ifmap reuse (2K-1)/K", "kMem activity (ours)",
+                "kMem activity (paper)"});
+  for (std::size_t i = 0; i < net.conv_layers.size(); ++i) {
+    const auto& layer = net.conv_layers[i];
+    const auto plan = dataflow::plan_layer(layer, array);
+    d.add_row({layer.name,
+               strings::fmt_fixed(dataflow::ifmap_reuse_factor(plan), 3),
+               strings::fmt_pct(dataflow::kmem_activity_factor(plan), 2),
+               i == 2 ? "2.22%" : "-"});
+  }
+  std::cout << d.to_ascii() << "\n";
+}
+
+void BM_TrafficModelAlexNet(benchmark::State& state) {
+  const dataflow::ArrayShape array;
+  const auto net = nn::alexnet();
+  for (auto _ : state) {
+    for (const auto& layer : net.conv_layers) {
+      const auto plan = dataflow::plan_layer(layer, array);
+      benchmark::DoNotOptimize(dataflow::model_traffic(plan, 4));
+    }
+  }
+}
+BENCHMARK(BM_TrafficModelAlexNet);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Reproduces Table V: the state-of-the-art comparison between DaDianNao
+// (memory-centric), Eyeriss (2D spatial) and Chain-NN, with our modelled
+// Chain-NN column next to the published one, plus the §V.D area-
+// efficiency analysis.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "baseline/memory_centric.hpp"
+#include "baseline/spatial_2d.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "energy/area_model.hpp"
+#include "energy/energy_model.hpp"
+#include "report/paper_constants.hpp"
+
+namespace {
+
+using namespace chainnn;
+
+void print_table5() {
+  const energy::EnergyModel model = energy::EnergyModel::paper_calibrated();
+  const energy::PowerBreakdown p =
+      model.power(energy::paper_calibration_rates(), 700e6, 576);
+  const energy::AreaModel area;
+  const baseline::MemoryCentricModel dadiannao;
+  const baseline::Spatial2dModel eyeriss;
+
+  const double peak_ops = 2.0 * 576 * 700e6;
+  const double modelled_power_mw = p.total() * 1e3;
+  const double modelled_eff =
+      energy::efficiency_gops_per_w(peak_ops, p.total());
+
+  TextTable t("Table V — comparison with state-of-the-art works");
+  t.set_header({"metric", "DaDianNao [10]", "Eyeriss [12]",
+                "Chain-NN (paper)", "Chain-NN (our model)"});
+  t.add_row({"Technology", report::kDaDianNao.technology,
+             report::kEyeriss.technology, report::kChainNN.technology,
+             "simulated 28nm"});
+  t.add_row({"Gate count", "N/A", "1852k", "3751k",
+             strings::fmt_fixed(area.total_gates(576) / 1e3, 0) + "k"});
+  t.add_row({"On-chip memory", report::kDaDianNao.onchip_memory,
+             report::kEyeriss.onchip_memory, report::kChainNN.onchip_memory,
+             "352.0KB SRAM"});
+  t.add_row({"Parallelism", "288x16", "168", "576", "576"});
+  t.add_row({"Core freq. (MHz)", "606", "250", "700", "700"});
+  t.add_row({"Power",
+             strings::fmt_fixed(dadiannao.total_power_w(), 2) + "W",
+             strings::fmt_fixed(eyeriss.config().power_w * 1e3, 0) + "mW",
+             "567.5mW",
+             strings::fmt_fixed(modelled_power_mw, 1) + "mW"});
+  t.add_row({"Peak throughput (GOPS)",
+             strings::fmt_fixed(dadiannao.peak_ops_per_s() / 1e9, 1),
+             strings::fmt_fixed(eyeriss.peak_ops_per_s() / 1e9, 1),
+             "806.4", strings::fmt_fixed(peak_ops / 1e9, 1)});
+  t.add_row({"Energy eff. (GOPS/W)",
+             strings::fmt_fixed(dadiannao.efficiency_gops_per_w(), 1),
+             strings::fmt_fixed(
+                 eyeriss.config().published_efficiency_gops_per_w, 1) +
+                 "*",
+             "1421.0", strings::fmt_fixed(modelled_eff, 1)});
+  std::cout << t.to_ascii()
+            << "*: scaled to 28nm the paper expects Eyeriss at "
+            << strings::fmt_fixed(
+                   energy::scale_efficiency_to_node(
+                       eyeriss.config().published_efficiency_gops_per_w,
+                       65.0, 28.0),
+                   1)
+            << " GOPS/W (paper: 570.1).\n\n";
+
+  TextTable g("§V.D — efficiency gains and area");
+  g.set_header({"claim", "paper", "our model"});
+  g.add_row({"vs DaDianNao (GOPS/W ratio)", "4.1x",
+             strings::fmt_fixed(
+                 modelled_eff / dadiannao.efficiency_gops_per_w(), 1) +
+                 "x"});
+  g.add_row(
+      {"vs Eyeriss @28nm (GOPS/W ratio)", "2.5x",
+       strings::fmt_fixed(modelled_eff /
+                              energy::scale_efficiency_to_node(
+                                  eyeriss.config()
+                                      .published_efficiency_gops_per_w,
+                                  65.0, 28.0),
+                          1) +
+           "x"});
+  g.add_row({"gates per PE", "6.51k vs 11.02k",
+             strings::fmt_fixed(report::kGatesPerPeK, 2) + "k vs " +
+                 strings::fmt_fixed(report::kEyerissGatesPerPeK, 2) + "k"});
+  g.add_row({"area efficiency", "1.7x",
+             strings::fmt_fixed(
+                 energy::area_efficiency_ratio(
+                     report::kGatesPerPeK, report::kEyerissGatesPerPeK),
+                 2) +
+                 "x"});
+  std::cout << g.to_ascii() << "\n";
+}
+
+void BM_BaselineModels(benchmark::State& state) {
+  for (auto _ : state) {
+    baseline::MemoryCentricModel dadiannao;
+    baseline::Spatial2dModel eyeriss;
+    benchmark::DoNotOptimize(dadiannao.efficiency_gops_per_w());
+    benchmark::DoNotOptimize(eyeriss.efficiency_gops_per_w());
+  }
+}
+BENCHMARK(BM_BaselineModels);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table5();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

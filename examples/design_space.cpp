@@ -1,0 +1,108 @@
+// Design-space exploration: sweeps chain length and clock frequency and
+// reports throughput / power / efficiency / AlexNet fps for each point —
+// the §III.B claim that the 1D chain "involves fewer overheads when
+// scaled up to a higher parallelism or clock frequency" made quantitative.
+//
+//   ./design_space [--model=alexnet] [--batch=128]
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "dataflow/plan.hpp"
+#include "energy/energy_model.hpp"
+#include "nn/models.hpp"
+
+using namespace chainnn;
+
+namespace {
+
+double network_seconds_per_batch(const nn::NetworkModel& net,
+                                 const dataflow::ArrayShape& array,
+                                 std::int64_t batch) {
+  double s = 0.0;
+  for (const auto& layer : net.conv_layers)
+    s += dataflow::plan_layer(layer, array).seconds_per_batch(batch);
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  std::string err;
+  const std::map<std::string, std::string> defaults = {{"model", "alexnet"},
+                                                       {"batch", "128"}};
+  if (!flags.parse(argc, argv, defaults, &err)) {
+    std::cerr << err << "\n" << CliFlags::usage(defaults);
+    return 1;
+  }
+  const auto net = nn::model_by_name(flags.get_string("model"));
+  const std::int64_t batch = flags.get_int("batch");
+  const energy::EnergyModel model = energy::EnergyModel::paper_calibrated();
+
+  // --- chain-length sweep at 700 MHz ---------------------------------------
+  TextTable t1("DSE — chain length sweep @700MHz (" + net.name +
+               ", batch " + std::to_string(batch) + ")");
+  t1.set_header({"PEs", "peak GOPS", "fps", "power mW", "GOPS/W",
+                 "fps/W"});
+  for (const std::int64_t pes : {144, 288, 576, 1152, 2304}) {
+    dataflow::ArrayShape array;
+    array.num_pes = pes;
+    const double sec = network_seconds_per_batch(net, array, batch);
+    const double fps = static_cast<double>(batch) / sec;
+    // Time-weighted activity across layers: use the largest layer's plan
+    // as representative (conservative for power).
+    energy::ActivityRates rates = energy::paper_calibration_rates();
+    const auto power = model.power(rates, array.clock_hz, pes);
+    t1.add_row({std::to_string(pes),
+                strings::fmt_fixed(array.peak_ops_per_s() / 1e9, 1),
+                strings::fmt_fixed(fps, 1),
+                strings::fmt_fixed(power.total() * 1e3, 1),
+                strings::fmt_fixed(energy::efficiency_gops_per_w(
+                                       array.peak_ops_per_s(),
+                                       power.total()),
+                                   1),
+                strings::fmt_fixed(fps / power.total(), 1)});
+  }
+  std::cout << t1.to_ascii() << "\n";
+
+  // --- frequency sweep at 576 PEs -------------------------------------------
+  TextTable t2("DSE — clock sweep @576 PEs");
+  t2.set_header({"MHz", "peak GOPS", "fps", "power mW", "GOPS/W"});
+  for (const double mhz : {200.0, 350.0, 500.0, 700.0, 900.0}) {
+    dataflow::ArrayShape array;
+    array.clock_hz = mhz * 1e6;
+    const double sec = network_seconds_per_batch(net, array, batch);
+    const auto power = model.power(energy::paper_calibration_rates(),
+                                   array.clock_hz, 576);
+    t2.add_row({strings::fmt_fixed(mhz, 0),
+                strings::fmt_fixed(array.peak_ops_per_s() / 1e9, 1),
+                strings::fmt_fixed(static_cast<double>(batch) / sec, 1),
+                strings::fmt_fixed(power.total() * 1e3, 1),
+                strings::fmt_fixed(energy::efficiency_gops_per_w(
+                                       array.peak_ops_per_s(),
+                                       power.total()),
+                                   1)});
+  }
+  std::cout << t2.to_ascii() << "\n";
+
+  // --- batch-size sweep (kernel-load amortization, §V.B) --------------------
+  TextTable t3("DSE — batch size (kernel loads amortize, §V.B)");
+  t3.set_header({"batch", "fps", "load share"});
+  dataflow::ArrayShape array;
+  for (const std::int64_t b : {1, 4, 16, 64, 128, 512}) {
+    const double sec = network_seconds_per_batch(net, array, b);
+    double load_cycles = 0.0, total_cycles = 0.0;
+    for (const auto& layer : net.conv_layers) {
+      const auto plan = dataflow::plan_layer(layer, array);
+      load_cycles += static_cast<double>(plan.kernel_load_cycles_per_batch());
+      total_cycles += static_cast<double>(plan.cycles_per_batch(b));
+    }
+    t3.add_row({std::to_string(b),
+                strings::fmt_fixed(static_cast<double>(b) / sec, 1),
+                strings::fmt_pct(load_cycles / total_cycles, 2)});
+  }
+  std::cout << t3.to_ascii() << "\n";
+  return 0;
+}

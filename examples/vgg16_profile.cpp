@@ -1,0 +1,78 @@
+// VGG-16 profiling on Chain-NN: plans all thirteen conv layers at full
+// scale (no simulation needed — the closed forms are validated against
+// the cycle simulator by the test suite) and reports per-layer cycles,
+// utilization, m-group / c-tile structure and traffic. Shows the c-tiling
+// path (C = 512 > 256 kMemory words) and the oMemory-capped residency of
+// the wide early layers.
+//
+//   ./vgg16_profile [--batch=4] [--pes=576]
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "dataflow/traffic.hpp"
+#include "energy/energy_model.hpp"
+#include "nn/models.hpp"
+
+using namespace chainnn;
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  std::string err;
+  const std::map<std::string, std::string> defaults = {{"batch", "4"},
+                                                       {"pes", "576"}};
+  if (!flags.parse(argc, argv, defaults, &err)) {
+    std::cerr << err << "\n" << CliFlags::usage(defaults);
+    return 1;
+  }
+  const std::int64_t batch = flags.get_int("batch");
+
+  dataflow::ArrayShape array;
+  array.num_pes = flags.get_int("pes");
+  const auto net = nn::vgg16();
+  const energy::EnergyModel energy_model =
+      energy::EnergyModel::paper_calibrated();
+
+  TextTable t("VGG-16 on Chain-NN (" + std::to_string(array.num_pes) +
+              " PEs @ 700 MHz, batch " + std::to_string(batch) + ")");
+  t.set_header({"layer", "prims", "m-grp", "c-tiles", "ms/img", "util",
+                "DRAM MB/b", "oMem MB/b", "mW"});
+  double total_ms = 0.0;
+  double total_energy_j = 0.0;
+  for (const auto& layer : net.conv_layers) {
+    const auto plan = dataflow::plan_layer(layer, array);
+    const auto traffic = dataflow::model_traffic(plan, batch);
+    const double ms =
+        static_cast<double>(plan.cycles_per_image()) / array.clock_hz * 1e3;
+    const auto rates = energy::rates_from_plan(plan);
+    const auto power = energy_model.power(rates, array.clock_hz,
+                                          array.num_pes);
+    t.add_row({layer.name, std::to_string(plan.primitives),
+               std::to_string(plan.m_groups),
+               std::to_string(plan.c_tiles), strings::fmt_fixed(ms, 2),
+               strings::fmt_pct(plan.utilization_per_image(), 1),
+               strings::fmt_fixed(
+                   static_cast<double>(traffic.dram_total()) / 1048576.0, 1),
+               strings::fmt_fixed(
+                   static_cast<double>(traffic.omem_total()) / 1048576.0, 1),
+               strings::fmt_fixed(power.total() * 1e3, 1)});
+    total_ms += ms;
+    total_energy_j += power.total() * ms / 1e3;
+  }
+  std::cout << t.to_ascii() << "\n"
+            << "total: " << strings::fmt_fixed(total_ms, 1)
+            << " ms/image ("
+            << strings::fmt_fixed(1000.0 / total_ms, 1) << " fps), "
+            << strings::fmt_fixed(total_energy_j * 1e3, 1)
+            << " mJ/image for "
+            << strings::fmt_fixed(
+                   static_cast<double>(net.macs_per_image()) / 1e9, 1)
+            << " GMAC\n"
+            << "note: VGG's K=3 layers regroup into 64 primitives "
+               "(100% PE allocation); early 224x224 layers\nare capped by "
+               "oMemory partial capacity, and C=512 layers run two "
+               "kMemory channel residencies\nwith a psum spill between "
+               "them.\n";
+  return 0;
+}

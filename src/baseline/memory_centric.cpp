@@ -1,0 +1,68 @@
+#include "baseline/memory_centric.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace chainnn::baseline {
+
+MemoryCentricModel::MemoryCentricModel(const MemoryCentricConfig& cfg)
+    : cfg_(cfg) {
+  CHAINNN_CHECK(cfg_.mac_units > 0 && cfg_.clock_hz > 0);
+}
+
+double MemoryCentricModel::peak_ops_per_s() const {
+  return 2.0 * static_cast<double>(cfg_.mac_units) * cfg_.clock_hz;
+}
+
+double MemoryCentricModel::total_power_w() const {
+  return cfg_.core_power_w + cfg_.memory_power_w;
+}
+
+double MemoryCentricModel::efficiency_gops_per_w() const {
+  return energy::efficiency_gops_per_w(peak_ops_per_s(), total_power_w());
+}
+
+double MemoryCentricModel::core_only_efficiency_gops_per_w() const {
+  return energy::efficiency_gops_per_w(peak_ops_per_s(), cfg_.core_power_w);
+}
+
+double MemoryCentricModel::core_energy_per_mac_j() const {
+  const double macs_per_s =
+      static_cast<double>(cfg_.mac_units) * cfg_.clock_hz;
+  return cfg_.core_power_w / macs_per_s;
+}
+
+double MemoryCentricModel::memory_energy_per_mac_j() const {
+  const double macs_per_s =
+      static_cast<double>(cfg_.mac_units) * cfg_.clock_hz;
+  return cfg_.memory_power_w / macs_per_s;
+}
+
+std::int64_t MemoryCentricModel::cycles_per_image(
+    const nn::ConvLayerParams& layer) const {
+  layer.validate();
+  // Output-parallel mapping: up to `mac_units` output sites computed per
+  // cycle-tap; utilization drops when the output plane is smaller.
+  const std::int64_t sites =
+      layer.out_channels * layer.out_height() * layer.out_width();
+  const std::int64_t per_wave = std::min<std::int64_t>(cfg_.mac_units, sites);
+  const double util = static_cast<double>(per_wave) /
+                      static_cast<double>(cfg_.mac_units);
+  const double cycles = static_cast<double>(layer.macs_per_image()) /
+                        (static_cast<double>(cfg_.mac_units) * util);
+  return static_cast<std::int64_t>(cycles + 0.5);
+}
+
+double MemoryCentricModel::seconds_per_image(
+    const nn::ConvLayerParams& layer) const {
+  return static_cast<double>(cycles_per_image(layer)) / cfg_.clock_hz;
+}
+
+double MemoryCentricModel::energy_per_image_j(
+    const nn::ConvLayerParams& layer) const {
+  const double macs = static_cast<double>(layer.macs_per_image());
+  return macs * (core_energy_per_mac_j() + memory_energy_per_mac_j());
+}
+
+}  // namespace chainnn::baseline

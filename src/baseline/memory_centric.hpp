@@ -1,0 +1,64 @@
+// Memory-centric accelerator model (taxonomy class 1 of §III.A, Fig. 2(a);
+// DaDianNao [10] is the paper's representative).
+//
+// In this class the processor core is a stack of MAC units with no
+// inter-PE data paths: every operand moves between the core and the
+// (large, on-chip) memory, so the memory system dominates power. The
+// model is calibrated to the published DaDianNao figures the paper's
+// Table V / Fig. 10 quote:
+//
+//   parallelism 288x16 = 4608 MACs, 606 MHz, peak 5584.9 GOPS,
+//   power 15.97 W split 1.84 W core (11.52%) / 14.13 W memory (88.48%),
+//   36 MB eDRAM.
+//
+// Per-MAC event counts follow the taxonomy: two operand reads and one
+// partial-sum read-modify-write against memory per MAC (no reuse inside
+// the core).
+#pragma once
+
+#include <cstdint>
+
+#include "energy/energy_model.hpp"
+#include "nn/conv_params.hpp"
+
+namespace chainnn::baseline {
+
+struct MemoryCentricConfig {
+  std::int64_t mac_units = 288 * 16;
+  double clock_hz = 606e6;
+  double core_power_w = 1.84;
+  double memory_power_w = 14.13;
+  double edram_bytes = 36.0 * 1024 * 1024;
+  double technology_nm = 28.0;
+};
+
+class MemoryCentricModel {
+ public:
+  explicit MemoryCentricModel(const MemoryCentricConfig& cfg = {});
+
+  [[nodiscard]] const MemoryCentricConfig& config() const { return cfg_; }
+
+  [[nodiscard]] double peak_ops_per_s() const;
+  [[nodiscard]] double total_power_w() const;
+  [[nodiscard]] double efficiency_gops_per_w() const;
+  [[nodiscard]] double core_only_efficiency_gops_per_w() const;
+
+  // Derived per-MAC energies (J) implied by the published power split.
+  [[nodiscard]] double core_energy_per_mac_j() const;
+  [[nodiscard]] double memory_energy_per_mac_j() const;
+
+  // Simple timing model: MACs / (units x utilization); utilization is
+  // limited by how well M*E*E output parallelism covers the MAC stack.
+  [[nodiscard]] std::int64_t cycles_per_image(
+      const nn::ConvLayerParams& layer) const;
+  [[nodiscard]] double seconds_per_image(
+      const nn::ConvLayerParams& layer) const;
+  // Energy per image: every MAC pays the core plus memory per-MAC cost.
+  [[nodiscard]] double energy_per_image_j(
+      const nn::ConvLayerParams& layer) const;
+
+ private:
+  MemoryCentricConfig cfg_;
+};
+
+}  // namespace chainnn::baseline

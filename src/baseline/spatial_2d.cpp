@@ -1,0 +1,52 @@
+#include "baseline/spatial_2d.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace chainnn::baseline {
+
+Spatial2dModel::Spatial2dModel(const Spatial2dConfig& cfg) : cfg_(cfg) {
+  CHAINNN_CHECK(cfg_.pe_rows > 0 && cfg_.pe_cols > 0 && cfg_.clock_hz > 0);
+}
+
+double Spatial2dModel::peak_ops_per_s() const {
+  return 2.0 * static_cast<double>(num_pes()) * cfg_.clock_hz;
+}
+
+double Spatial2dModel::efficiency_gops_per_w() const {
+  return energy::efficiency_gops_per_w(peak_ops_per_s(), cfg_.power_w);
+}
+
+double Spatial2dModel::mapping_utilization(
+    const nn::ConvLayerParams& layer) const {
+  layer.validate();
+  const std::int64_t k = layer.kernel;
+  if (k > cfg_.pe_rows) return 0.0;  // kernel does not fit the array rows
+
+  // Row-stationary placement: each logical pass occupies a K-row by
+  // W-col region, W = min(E_w, pe_cols); vertical replication packs
+  // floor(rows/K) independent passes.
+  const std::int64_t vert_sets = cfg_.pe_rows / k;
+  const std::int64_t cols_used = std::min(layer.out_width(), cfg_.pe_cols);
+  const std::int64_t used = vert_sets * k * cols_used;
+  return static_cast<double>(used) /
+         static_cast<double>(num_pes());
+}
+
+std::int64_t Spatial2dModel::cycles_per_image(
+    const nn::ConvLayerParams& layer) const {
+  const double util = mapping_utilization(layer);
+  CHAINNN_CHECK_MSG(util > 0.0, layer.name << " does not map onto the array");
+  const double cycles =
+      static_cast<double>(layer.macs_per_image()) /
+      (static_cast<double>(num_pes()) * util);
+  return static_cast<std::int64_t>(cycles + 0.5);
+}
+
+double Spatial2dModel::seconds_per_image(
+    const nn::ConvLayerParams& layer) const {
+  return static_cast<double>(cycles_per_image(layer)) / cfg_.clock_hz;
+}
+
+}  // namespace chainnn::baseline

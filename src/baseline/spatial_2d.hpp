@@ -1,0 +1,61 @@
+// 2D spatial accelerator model (taxonomy class 2 of §III.A, Fig. 2(b);
+// Eyeriss [12] is the paper's representative).
+//
+// PEs form a 2D grid with local scratchpads and an on-chip network; data
+// is reused between PEs (row-stationary in Eyeriss), which cuts memory
+// traffic at the price of per-PE control and NoC overhead — the paper's
+// Table V quotes 11.02k gates per PE vs Chain-NN's 6.51k.
+//
+// Published figures carried as configuration: 168 PEs (12x14), 250 MHz
+// in 65 nm, peak 84.0 GOPS, 450 mW, 181.5 KB SRAM, 245.6 GOPS/W (570.1
+// expected when scaled to 28 nm per the paper's footnote).
+#pragma once
+
+#include <cstdint>
+
+#include "energy/energy_model.hpp"
+#include "nn/conv_params.hpp"
+
+namespace chainnn::baseline {
+
+struct Spatial2dConfig {
+  std::int64_t pe_rows = 12;
+  std::int64_t pe_cols = 14;
+  double clock_hz = 250e6;
+  double power_w = 0.450;
+  double sram_bytes = 181.5 * 1024;
+  double technology_nm = 65.0;
+  double published_efficiency_gops_per_w = 245.6;
+  double gates_per_pe = 11020.0;
+};
+
+class Spatial2dModel {
+ public:
+  explicit Spatial2dModel(const Spatial2dConfig& cfg = {});
+
+  [[nodiscard]] const Spatial2dConfig& config() const { return cfg_; }
+
+  [[nodiscard]] std::int64_t num_pes() const {
+    return cfg_.pe_rows * cfg_.pe_cols;
+  }
+  [[nodiscard]] double peak_ops_per_s() const;
+  [[nodiscard]] double efficiency_gops_per_w() const;
+
+  // Row-stationary mapping utilization: a kernel of height K occupies K
+  // PE rows (psum accumulation) and E or fewer columns; sets of kernels
+  // replicate until rows/cols run out. 2D placement constraints leave
+  // PEs idle when K or E do not divide the array — the reconfigurability
+  // cost the paper contrasts with the 1D chain (§III.A.2).
+  [[nodiscard]] double mapping_utilization(
+      const nn::ConvLayerParams& layer) const;
+
+  [[nodiscard]] std::int64_t cycles_per_image(
+      const nn::ConvLayerParams& layer) const;
+  [[nodiscard]] double seconds_per_image(
+      const nn::ConvLayerParams& layer) const;
+
+ private:
+  Spatial2dConfig cfg_;
+};
+
+}  // namespace chainnn::baseline

@@ -1,0 +1,167 @@
+#include "chain/accelerator.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "fixed/quantize.hpp"
+
+namespace chainnn::chain {
+
+double LayerRunResult::seconds() const {
+  return static_cast<double>(stats.total_cycles()) / clock_hz_;
+}
+
+double LayerRunResult::achieved_ops_per_s() const {
+  const double secs = seconds();
+  return secs == 0.0 ? 0.0
+                     : 2.0 * static_cast<double>(plan.layer.macs_total()) /
+                           secs;
+}
+
+double LayerRunResult::utilization() const {
+  const double cap = static_cast<double>(plan.array.num_pes) *
+                     static_cast<double>(stats.total_cycles());
+  return cap == 0.0 ? 0.0
+                    : static_cast<double>(plan.layer.macs_total()) / cap;
+}
+
+ChainAccelerator::ChainAccelerator(const AcceleratorConfig& cfg)
+    : cfg_(cfg), hierarchy_(cfg.memory) {}
+
+dataflow::ExecutionPlan ChainAccelerator::plan(
+    const nn::ConvLayerParams& layer) const {
+  return dataflow::plan_layer(layer, cfg_.array, cfg_.memory);
+}
+
+LayerRunResult ChainAccelerator::run_layer(
+    const nn::ConvLayerParams& layer, const Tensor<std::int16_t>& ifmaps,
+    const Tensor<std::int16_t>& kernels, const Tensor<std::int16_t>* bias) {
+  if (bias) CHAINNN_CHECK(bias->shape() == Shape({layer.out_channels}));
+
+  LayerRunResult result;
+  result.plan = plan(layer);
+  result.clock_hz_ = cfg_.array.clock_hz;
+
+  const mem::HierarchySnapshot before = mem::snapshot(hierarchy_);
+  LayerController controller(cfg_, result.plan, hierarchy_);
+  result.accumulators = controller.run(ifmaps, kernels, result.stats);
+  result.traffic = mem::traffic_since(hierarchy_, before, layer.name);
+
+  // Requantize to 16-bit ofmaps.
+  result.ofmaps = Tensor<std::int16_t>(result.accumulators.shape());
+  const std::int64_t plane = layer.out_height() * layer.out_width();
+  const int acc_frac = cfg_.ifmap_fmt.frac_bits + cfg_.kernel_fmt.frac_bits;
+  for (std::int64_t i = 0; i < result.accumulators.num_elements(); ++i) {
+    const std::int64_t m = (i / plane) % layer.out_channels;
+    const std::int64_t b = bias ? bias->at_flat(m) : 0;
+    if (cfg_.psum_storage == PsumStorage::kWide) {
+      std::int64_t acc = result.accumulators.at_flat(i);
+      if (bias) {
+        const int align = acc_frac - cfg_.ofmap_fmt.frac_bits;
+        acc += fixed::shift_right_rounded(b, -align, cfg_.rounding);
+      }
+      result.ofmaps.at_flat(i) = fixed::narrow_to_fixed16(
+          acc, acc_frac, cfg_.ofmap_fmt, cfg_.rounding,
+          fixed::Overflow::kSaturate, &result.narrowing);
+    } else {
+      // Staged partials carry psum_fmt fraction bits.
+      const std::int64_t partial = result.accumulators.at_flat(i);
+      result.ofmaps.at_flat(i) = fixed::narrow_to_fixed16(
+          partial + fixed::shift_right_rounded(
+                        b, cfg_.ofmap_fmt.frac_bits - cfg_.psum_fmt.frac_bits,
+                        cfg_.rounding),
+          cfg_.psum_fmt.frac_bits, cfg_.ofmap_fmt, cfg_.rounding,
+          fixed::Overflow::kSaturate, &result.narrowing);
+    }
+  }
+  return result;
+}
+
+ChainAccelerator::FloatRunResult ChainAccelerator::run_layer_float(
+    const nn::ConvLayerParams& layer, const Tensor<float>& ifmaps,
+    const Tensor<float>& kernels, fixed::NarrowingStats* quantization) {
+  const auto xq = fixed::quantize(ifmaps.data(), cfg_.ifmap_fmt,
+                                  cfg_.rounding);
+  const auto wq = fixed::quantize(kernels.data(), cfg_.kernel_fmt,
+                                  cfg_.rounding);
+  if (quantization) {
+    quantization->merge(xq.stats);
+    quantization->merge(wq.stats);
+  }
+  FloatRunResult out;
+  out.raw = run_layer(layer, Tensor<std::int16_t>(ifmaps.shape(), xq.raw),
+                      Tensor<std::int16_t>(kernels.shape(), wq.raw));
+  out.ofmaps = Tensor<float>(out.raw.ofmaps.shape());
+  const double scale = cfg_.ofmap_fmt.scale();
+  for (std::int64_t i = 0; i < out.raw.ofmaps.num_elements(); ++i)
+    out.ofmaps.at_flat(i) = static_cast<float>(
+        static_cast<double>(out.raw.ofmaps.at_flat(i)) / scale);
+  return out;
+}
+
+Tensor<std::int64_t> staged_reference(const AcceleratorConfig& cfg,
+                                      const dataflow::ExecutionPlan& plan,
+                                      const Tensor<std::int16_t>& ifmaps,
+                                      const Tensor<std::int16_t>& kernels) {
+  const nn::ConvLayerParams& layer = plan.layer;
+  layer.validate();
+  const int acc_frac = cfg.ifmap_fmt.frac_bits + cfg.kernel_fmt.frac_bits;
+  Tensor<std::int64_t> partials(Shape{layer.batch, layer.out_channels,
+                                      layer.out_height(), layer.out_width()});
+
+  const std::int64_t m_per_g = layer.out_channels_per_group();
+  const std::int64_t cg = layer.channels_per_group();
+
+  for (std::int64_t n = 0; n < layer.batch; ++n) {
+    for (std::int64_t m = 0; m < layer.out_channels; ++m) {
+      const std::int64_t g = m / m_per_g;
+      for (std::int64_t oy = 0; oy < layer.out_height(); ++oy) {
+        for (std::int64_t ox = 0; ox < layer.out_width(); ++ox) {
+          std::int64_t partial = 0;
+          // Pass order must match the controller: c_tile, then phase,
+          // then channel within the tile.
+          for (std::int64_t ct = 0; ct < plan.c_tiles; ++ct) {
+            const std::int64_t c_base = ct * plan.c_tile;
+            const std::int64_t c_limit = std::min(plan.c_tile, cg - c_base);
+            for (const dataflow::SubConvPlan& sp : plan.subconvs) {
+              const dataflow::SubConv& sub = sp.sub;
+              for (std::int64_t cl = 0; cl < c_limit; ++cl) {
+                const std::int64_t c = c_base + cl;
+                const std::int64_t ic = g * cg + c;
+                std::int64_t psum = 0;
+                for (std::int64_t sky = 0; sky < sub.kernel_rows; ++sky) {
+                  for (std::int64_t skx = 0; skx < sub.kernel_cols; ++skx) {
+                    const std::int64_t ky =
+                        sub.phase_row + layer.stride * sky;
+                    const std::int64_t kx =
+                        sub.phase_col + layer.stride * skx;
+                    const std::int64_t iy = oy * layer.stride + ky -
+                                            layer.pad;
+                    const std::int64_t ix = ox * layer.stride + kx -
+                                            layer.pad;
+                    if (iy < 0 || iy >= layer.in_height || ix < 0 ||
+                        ix >= layer.in_width)
+                      continue;
+                    psum += static_cast<std::int64_t>(
+                                ifmaps.at(n, ic, iy, ix)) *
+                            static_cast<std::int64_t>(
+                                kernels.at(m, c, ky, kx));
+                  }
+                }
+                const std::int16_t narrowed = fixed::narrow_to_fixed16(
+                    psum, acc_frac, cfg.psum_fmt, cfg.rounding,
+                    fixed::Overflow::kSaturate);
+                partial = std::clamp<std::int64_t>(partial + narrowed,
+                                                   -32768, 32767);
+              }
+            }
+          }
+          partials.at(n, m, oy, ox) = partial;
+        }
+      }
+    }
+  }
+  return partials;
+}
+
+}  // namespace chainnn::chain

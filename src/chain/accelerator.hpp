@@ -1,0 +1,99 @@
+// ChainAccelerator — the public entry point of the Chain-NN library.
+//
+// Wraps the dataflow compiler (ExecutionPlan), the register-level chain
+// model (SystolicChain + LayerController) and the memory hierarchy into
+// one object that runs convolutional layers bit-exactly and reports
+// cycles, utilization and per-memory traffic.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   chain::AcceleratorConfig cfg;                  // paper's 576-PE chip
+//   chain::ChainAccelerator acc(cfg);
+//   auto result = acc.run_layer(layer, ifmaps, kernels);
+//   // result.ofmaps    — 16-bit ofmaps (bit-exact vs. the golden model)
+//   // result.stats     — cycles, windows, MACs
+//   // result.traffic   — DRAM / iMemory / kMemory / oMemory bytes
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/config.hpp"
+#include "chain/controller.hpp"
+#include "dataflow/plan.hpp"
+#include "dataflow/traffic.hpp"
+#include "mem/hierarchy.hpp"
+#include "nn/conv_params.hpp"
+#include "tensor/tensor.hpp"
+
+namespace chainnn::chain {
+
+struct LayerRunResult {
+  dataflow::ExecutionPlan plan;
+  Tensor<std::int64_t> accumulators;  // wide psums (or staged partials)
+  Tensor<std::int16_t> ofmaps;        // requantized outputs
+  RunStats stats;
+  mem::LayerTraffic traffic;          // measured (counter deltas)
+  fixed::NarrowingStats narrowing;
+
+  // Seconds for the whole batch at the configured clock.
+  [[nodiscard]] double seconds() const;
+  // Achieved throughput in ops/s (2 ops per MAC) over the batch.
+  [[nodiscard]] double achieved_ops_per_s() const;
+  [[nodiscard]] double utilization() const;
+
+ private:
+  friend class ChainAccelerator;
+  double clock_hz_ = 0.0;
+};
+
+class ChainAccelerator {
+ public:
+  explicit ChainAccelerator(const AcceleratorConfig& cfg = {});
+
+  [[nodiscard]] const AcceleratorConfig& config() const { return cfg_; }
+  [[nodiscard]] mem::MemoryHierarchy& hierarchy() { return hierarchy_; }
+  [[nodiscard]] const mem::MemoryHierarchy& hierarchy() const {
+    return hierarchy_;
+  }
+
+  // Runs one conv layer (whole batch) on the cycle-accurate chain model.
+  // `bias`, if given, is {M} in ofmap format, applied at requantization.
+  [[nodiscard]] LayerRunResult run_layer(
+      const nn::ConvLayerParams& layer, const Tensor<std::int16_t>& ifmaps,
+      const Tensor<std::int16_t>& kernels,
+      const Tensor<std::int16_t>* bias = nullptr);
+
+  // Plans a layer without running it (for sizing / DSE).
+  [[nodiscard]] dataflow::ExecutionPlan plan(
+      const nn::ConvLayerParams& layer) const;
+
+  // Float convenience wrapper: quantizes inputs/weights to the
+  // configured formats (the paper's float-to-fixed flow, §V.A), runs the
+  // chain, and returns dequantized float outputs alongside the raw
+  // result. `quantization` (optional) receives the conversion stats.
+  struct FloatRunResult {
+    LayerRunResult raw;
+    Tensor<float> ofmaps;
+  };
+  [[nodiscard]] FloatRunResult run_layer_float(
+      const nn::ConvLayerParams& layer, const Tensor<float>& ifmaps,
+      const Tensor<float>& kernels,
+      fixed::NarrowingStats* quantization = nullptr);
+
+ private:
+  AcceleratorConfig cfg_;
+  mem::MemoryHierarchy hierarchy_;
+};
+
+// Reference for the kStaged16 accumulation policy: replays the plan's
+// (phase, channel) pass order on the golden per-pass psums so tests can
+// pin the staged datapath bit-exactly (the wide policy is pinned against
+// nn::conv2d_fixed_accum instead).
+[[nodiscard]] Tensor<std::int64_t> staged_reference(
+    const AcceleratorConfig& cfg, const dataflow::ExecutionPlan& plan,
+    const Tensor<std::int16_t>& ifmaps, const Tensor<std::int16_t>& kernels);
+
+}  // namespace chainnn::chain

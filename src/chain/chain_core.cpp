@@ -1,0 +1,124 @@
+#include "chain/chain_core.hpp"
+
+namespace chainnn::chain {
+
+ChannelRing::ChannelRing(std::int64_t max_age)
+    : buf_(static_cast<std::size_t>(max_age + 1), 0) {
+  CHAINNN_CHECK(max_age >= 0);
+}
+
+void ChannelRing::push(std::int16_t v) {
+  head_ = (head_ + 1) % static_cast<std::int64_t>(buf_.size());
+  buf_[static_cast<std::size_t>(head_)] = v;
+  ++pushed_;
+}
+
+std::int16_t ChannelRing::tap(std::int64_t age) const {
+  CHAINNN_CHECK_MSG(age >= 0 &&
+                        age < static_cast<std::int64_t>(buf_.size()),
+                    "tap age " << age << " of ring " << buf_.size());
+  if (age >= pushed_) return 0;  // register still holding its reset value
+  const auto n = static_cast<std::int64_t>(buf_.size());
+  return buf_[static_cast<std::size_t>((head_ - age % n + n) % n)];
+}
+
+void ChannelRing::reset() {
+  std::fill(buf_.begin(), buf_.end(), 0);
+  head_ = 0;
+  pushed_ = 0;
+}
+
+SystolicPrimitive::SystolicPrimitive(std::int64_t taps_phys,
+                                     std::int64_t kmem_words_per_pe)
+    : pes_(static_cast<std::size_t>(taps_phys)) {
+  CHAINNN_CHECK(taps_phys >= 1);
+  for (Pe& pe : pes_)
+    pe.kmemory.assign(static_cast<std::size_t>(kmem_words_per_pe), 0);
+}
+
+void SystolicPrimitive::load_kmemory(std::int64_t p, std::int64_t word,
+                                     std::int16_t w) {
+  CHAINNN_CHECK(p >= 0 && p < taps_phys());
+  auto& mem = pes_[static_cast<std::size_t>(p)].kmemory;
+  CHAINNN_CHECK_MSG(word >= 0 &&
+                        word < static_cast<std::int64_t>(mem.size()),
+                    "kMemory word " << word << " of " << mem.size());
+  mem[static_cast<std::size_t>(word)] = w;
+}
+
+std::int64_t SystolicPrimitive::latch_weights(std::int64_t taps_used,
+                                              std::int64_t word) {
+  CHAINNN_CHECK(taps_used >= 1 && taps_used <= taps_phys());
+  std::int64_t reads = 0;
+  for (std::int64_t p = 0; p < taps_phys(); ++p) {
+    Pe& pe = pes_[static_cast<std::size_t>(p)];
+    if (p < taps_used) {
+      CHAINNN_CHECK(word < static_cast<std::int64_t>(pe.kmemory.size()));
+      pe.weight = pe.kmemory[static_cast<std::size_t>(word)];
+      ++reads;
+    } else {
+      pe.weight = 0;  // masked tail taps contribute nothing
+    }
+  }
+  return reads;
+}
+
+void SystolicPrimitive::compute(const StripPattern& pattern,
+                                std::int64_t slot, const ChannelRing& ch0,
+                                const ChannelRing& ch1) {
+  for (std::int64_t p = 0; p < taps_phys(); ++p) {
+    Pe& pe = pes_[static_cast<std::size_t>(p)];
+    const int sel = pattern.mux_select(p, slot);
+    const std::int16_t x = (sel == 0 ? ch0 : ch1).tap(2 * p);
+    const auto prod = static_cast<std::int64_t>(
+        fixed::Fixed16::multiply(fixed::Fixed16(x), fixed::Fixed16(pe.weight)));
+    const std::int64_t upstream =
+        p == 0 ? 0 : pes_[static_cast<std::size_t>(p - 1)].psum;
+    pe.psum_next = upstream + prod;
+  }
+}
+
+void SystolicPrimitive::commit() {
+  for (Pe& pe : pes_) pe.psum = pe.psum_next;
+}
+
+void SystolicPrimitive::reset_psums() {
+  for (Pe& pe : pes_) {
+    pe.psum = 0;
+    pe.psum_next = 0;
+  }
+}
+
+SystolicChain::SystolicChain(std::int64_t primitives, std::int64_t taps_phys,
+                             std::int64_t kmem_words_per_pe)
+    : ch0_(2 * taps_phys + 2), ch1_(2 * taps_phys + 2) {
+  CHAINNN_CHECK(primitives >= 1);
+  prims_.reserve(static_cast<std::size_t>(primitives));
+  for (std::int64_t q = 0; q < primitives; ++q)
+    prims_.emplace_back(taps_phys, kmem_words_per_pe);
+}
+
+std::int64_t SystolicChain::latch_weights(std::int64_t taps_used,
+                                          std::int64_t word) {
+  std::int64_t reads = 0;
+  for (SystolicPrimitive& prim : prims_)
+    reads += prim.latch_weights(taps_used, word);
+  return reads;
+}
+
+void SystolicChain::step(const StripPattern& pattern, std::int64_t slot,
+                         std::int16_t in0, std::int16_t in1) {
+  ch0_.push(in0);
+  ch1_.push(in1);
+  for (SystolicPrimitive& prim : prims_)
+    prim.compute(pattern, slot, ch0_, ch1_);
+  for (SystolicPrimitive& prim : prims_) prim.commit();
+}
+
+void SystolicChain::reset_pass_state() {
+  ch0_.reset();
+  ch1_.reset();
+  for (SystolicPrimitive& prim : prims_) prim.reset_psums();
+}
+
+}  // namespace chainnn::chain

@@ -1,0 +1,36 @@
+// Configuration of a Chain-NN accelerator instance.
+#pragma once
+
+#include "dataflow/array_shape.hpp"
+#include "fixed/fixed16.hpp"
+#include "mem/hierarchy.hpp"
+
+namespace chainnn::chain {
+
+// How oMemory stores partial sums between accumulation passes.
+enum class PsumStorage {
+  // 48-bit accumulators kept exactly across passes (verification mode —
+  // matches the wide golden model bit for bit regardless of pass order).
+  kWide,
+  // 16-bit partials in psum format, requantized after every pass — the
+  // hardware behaviour implied by Table IV's oMemory traffic (2 bytes per
+  // partial access). Matches the wide result whenever the psum format has
+  // enough headroom (tests pin both regimes).
+  kStaged16,
+};
+
+struct AcceleratorConfig {
+  dataflow::ArrayShape array;
+  mem::HierarchyConfig memory;
+
+  fixed::FixedFormat ifmap_fmt{8};
+  fixed::FixedFormat kernel_fmt{8};
+  // Format of staged partials and of the final 16-bit ofmaps.
+  fixed::FixedFormat psum_fmt{8};
+  fixed::FixedFormat ofmap_fmt{8};
+  fixed::Rounding rounding = fixed::Rounding::kNearestEven;
+
+  PsumStorage psum_storage = PsumStorage::kWide;
+};
+
+}  // namespace chainnn::chain

@@ -1,0 +1,94 @@
+#include "chain/network_runner.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "nn/golden.hpp"
+
+namespace chainnn::chain {
+
+double NetworkRunResult::total_seconds() const {
+  double s = 0.0;
+  for (const auto& l : layers) s += l.run.seconds();
+  return s;
+}
+
+double NetworkRunResult::kernel_load_seconds() const {
+  double s = 0.0;
+  for (const auto& l : layers)
+    s += static_cast<double>(l.run.stats.kernel_load_cycles) /
+         l.run.plan.array.clock_hz;
+  return s;
+}
+
+double NetworkRunResult::total_energy_j() const {
+  double e = 0.0;
+  for (const auto& l : layers) e += l.power.total() * l.run.seconds();
+  return e;
+}
+
+double NetworkRunResult::fps(std::int64_t batch) const {
+  CHAINNN_CHECK(batch > 0);
+  const double per_image = total_seconds() - kernel_load_seconds();
+  const double batch_time =
+      kernel_load_seconds() + static_cast<double>(batch) * per_image;
+  return static_cast<double>(batch) / batch_time;
+}
+
+bool NetworkRunResult::all_verified() const {
+  for (const auto& l : layers)
+    if (!l.verified) return false;
+  return true;
+}
+
+NetworkRunResult NetworkRunner::run(const nn::NetworkModel& net,
+                                    const Tensor<std::int16_t>& input,
+                                    const NetworkRunOptions& options) {
+  CHAINNN_CHECK(input.shape().rank() == 4);
+  NetworkRunResult result;
+  Tensor<std::int16_t> act = input;
+  Rng rng(0xC0FFEE);
+
+  for (std::size_t i = 0; i < net.conv_layers.size(); ++i) {
+    nn::ConvLayerParams layer = net.conv_layers[i];
+    layer.batch = act.shape().dim(0);
+    layer.in_height = act.shape().dim(2);
+    layer.in_width = act.shape().dim(3);
+    CHAINNN_CHECK_MSG(act.shape().dim(1) == layer.in_channels,
+                      net.name << "/" << layer.name << ": expected "
+                               << layer.in_channels << " channels, got "
+                               << act.shape().dim(1));
+    layer.validate();
+
+    Tensor<std::int16_t> kernels(Shape{layer.out_channels,
+                                       layer.channels_per_group(),
+                                       layer.kernel, layer.kernel});
+    if (options.weight_init) {
+      options.weight_init(static_cast<std::int64_t>(i), kernels);
+    } else {
+      kernels.fill_random(rng, -16, 16);
+    }
+
+    NetworkLayerResult lr;
+    lr.layer = layer;
+    lr.run = acc_.run_layer(layer, act, kernels);
+    lr.verified = !options.verify_against_golden ||
+                  lr.run.accumulators ==
+                      nn::conv2d_fixed_accum(layer, act, kernels);
+    lr.power = energy_.power(energy::rates_from_plan(lr.run.plan),
+                             lr.run.plan.array.clock_hz,
+                             lr.run.plan.array.num_pes);
+
+    Tensor<std::int16_t> out = lr.run.ofmaps;
+    const InterLayerOp op = i < options.inter_layer.size()
+                                ? options.inter_layer[i]
+                                : InterLayerOp{};
+    if (op.relu) nn::relu_inplace(out);
+    if (op.pool) out = nn::max_pool(out, op.pool_params);
+    act = std::move(out);
+    result.layers.push_back(std::move(lr));
+  }
+  result.final_activations = std::move(act);
+  return result;
+}
+
+}  // namespace chainnn::chain

@@ -1,0 +1,74 @@
+// NetworkRunner: executes a whole convolutional network on Chain-NN — the
+// conv layers cycle-accurately on the chain, the host-side layers (ReLU,
+// pooling) in between — and rolls per-layer results up into the
+// batch-level figures the paper reports (fps, time split, traffic,
+// modelled power/energy).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "chain/accelerator.hpp"
+#include "energy/energy_model.hpp"
+#include "nn/layers.hpp"
+#include "nn/models.hpp"
+
+namespace chainnn::chain {
+
+// Host-side processing applied to a layer's output before it feeds the
+// next conv layer.
+struct InterLayerOp {
+  bool relu = true;
+  bool pool = false;
+  nn::PoolParams pool_params{3, 2, 0};  // AlexNet-style overlapped pool
+};
+
+struct NetworkLayerResult {
+  nn::ConvLayerParams layer;  // as actually executed (resolved H/W)
+  LayerRunResult run;
+  energy::PowerBreakdown power;  // modelled during this layer
+  bool verified = false;         // bit-exact vs golden (when enabled)
+};
+
+struct NetworkRunResult {
+  std::vector<NetworkLayerResult> layers;
+  Tensor<std::int16_t> final_activations;
+
+  [[nodiscard]] double total_seconds() const;
+  [[nodiscard]] double kernel_load_seconds() const;
+  // Energy integrates each layer's modelled power over its time.
+  [[nodiscard]] double total_energy_j() const;
+  // Frames/s for a batch: per-image conv time plus once-per-batch loads.
+  [[nodiscard]] double fps(std::int64_t batch) const;
+  [[nodiscard]] bool all_verified() const;
+};
+
+struct NetworkRunOptions {
+  bool verify_against_golden = true;
+  // Inter-layer ops per conv layer; defaults applied when shorter than
+  // the network (ReLU only).
+  std::vector<InterLayerOp> inter_layer;
+  // Weight initializer; defaults to deterministic small uniforms.
+  std::function<void(std::int64_t layer_index, Tensor<std::int16_t>&)>
+      weight_init;
+};
+
+class NetworkRunner {
+ public:
+  explicit NetworkRunner(ChainAccelerator& accelerator,
+                         const energy::EnergyModel& energy_model)
+      : acc_(accelerator), energy_(energy_model) {}
+
+  // Runs `net` on `input` {N, C0, H0, W0}. Layer spatial sizes are
+  // resolved from the flowing activations (the zoo's nominal sizes are
+  // overridden so pooled sizes chain correctly).
+  [[nodiscard]] NetworkRunResult run(const nn::NetworkModel& net,
+                                     const Tensor<std::int16_t>& input,
+                                     const NetworkRunOptions& options = {});
+
+ private:
+  ChainAccelerator& acc_;
+  const energy::EnergyModel& energy_;
+};
+
+}  // namespace chainnn::chain

@@ -1,0 +1,119 @@
+#include "chain/scan_pattern.hpp"
+
+#include <algorithm>
+
+namespace chainnn::chain {
+
+namespace {
+
+// Floor division for possibly-negative numerators.
+constexpr std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  return a >= 0 ? a / b : -((-a + b - 1) / b);
+}
+
+}  // namespace
+
+StripPattern::StripPattern(std::int64_t k_rows, std::int64_t k_cols,
+                           std::int64_t strip_rows, std::int64_t cols,
+                           std::int64_t out_rows, bool dual_channel)
+    : k_rows_(k_rows),
+      k_cols_(k_cols),
+      strip_rows_(strip_rows),
+      cols_(cols),
+      out_rows_(out_rows),
+      dual_channel_(dual_channel) {
+  CHAINNN_CHECK(k_rows_ >= 1 && k_cols_ >= 1);
+  CHAINNN_CHECK(cols_ >= k_cols_);
+  CHAINNN_CHECK(out_rows_ >= 1 && out_rows_ <= k_rows_);
+  CHAINNN_CHECK_MSG(strip_rows_ == out_rows_ + k_rows_ - 1,
+                    "strip rows " << strip_rows_ << " vs out "
+                                  << out_rows_ << " + K_r-1");
+  if (dual_channel_) {
+    // Last pixel (strip_rows-1, cols-1) enters at K_r*(cols-1) +
+    // strip_rows - 1.
+    num_slots_ = k_rows_ * (cols_ - 1) + strip_rows_;
+  } else {
+    // One K_r*cols sub-pattern per output row.
+    num_slots_ = out_rows_ * k_rows_ * cols_;
+  }
+}
+
+std::optional<ScheduledPixel> StripPattern::pixel_at(std::int64_t slot,
+                                                     int channel) const {
+  if (slot < 0 || slot >= num_slots_) return std::nullopt;
+  if (dual_channel_) {
+    // Candidates c with slot - K_r*c in [0, strip_rows): since
+    // strip_rows <= 2*K_r - 1 there are at most two, of opposite parity,
+    // so at most one per channel.
+    const std::int64_t c_hi = slot / k_rows_;
+    for (std::int64_t c = c_hi;
+         c >= 0 && slot - k_rows_ * c < strip_rows_; --c) {
+      if (c >= cols_) continue;
+      if (static_cast<int>(c % 2) != channel) continue;
+      return ScheduledPixel{slot, channel, slot - k_rows_ * c, c};
+    }
+    return std::nullopt;
+  }
+  if (channel != 0) return std::nullopt;
+  const std::int64_t sub_len = k_rows_ * cols_;
+  const std::int64_t r0 = slot / sub_len;
+  const std::int64_t local = slot - r0 * sub_len;
+  const std::int64_t c = local / k_rows_;
+  const std::int64_t r = r0 + local % k_rows_;
+  if (r >= strip_rows_) return std::nullopt;  // cannot happen; guard anyway
+  return ScheduledPixel{slot, 0, r, c};
+}
+
+std::vector<ScheduledPixel> StripPattern::schedule() const {
+  std::vector<ScheduledPixel> out;
+  for (std::int64_t slot = 0; slot < num_slots_; ++slot)
+    for (int ch = 0; ch < 2; ++ch)
+      if (auto px = pixel_at(slot, ch)) out.push_back(*px);
+  return out;
+}
+
+std::optional<WindowCompletion> StripPattern::completion_at(
+    std::int64_t slot) const {
+  if (slot < 0) return std::nullopt;  // still in warm-up
+  const std::int64_t t = taps();
+  if (dual_channel_) {
+    const std::int64_t v = slot - (t - 1);
+    if (v < 0) return std::nullopt;
+    const std::int64_t r0 = v % k_rows_;
+    const std::int64_t c0 = v / k_rows_;
+    if (r0 >= out_rows_ || c0 > cols_ - k_cols_) return std::nullopt;
+    return WindowCompletion{slot, r0, c0};
+  }
+  const std::int64_t sub_len = k_rows_ * cols_;
+  const std::int64_t r0 = slot / sub_len;
+  if (r0 >= out_rows_) return std::nullopt;
+  const std::int64_t v = slot - r0 * sub_len - (t - 1);
+  if (v < 0 || v % k_rows_ != 0) return std::nullopt;
+  const std::int64_t c0 = v / k_rows_;
+  if (c0 > cols_ - k_cols_) return std::nullopt;
+  return WindowCompletion{slot, r0, c0};
+}
+
+std::vector<WindowCompletion> StripPattern::completions() const {
+  std::vector<WindowCompletion> out;
+  for (std::int64_t slot = 0; slot < num_slots_; ++slot)
+    if (auto w = completion_at(slot)) out.push_back(*w);
+  return out;
+}
+
+int StripPattern::mux_select(std::int64_t p, std::int64_t slot) const {
+  if (!dual_channel_) return 0;
+  const std::int64_t t_sub = taps();
+  if (p >= t_sub) return 0;  // masked tail PEs never feed real MACs
+  // PE p serves window t = slot - p at scan position s = T-1-p; the
+  // pixel it needs sits in window column c0 + s/K_r, whose strip-column
+  // parity picks the channel. In hardware this is a per-PE counter of
+  // period 2*K_r; here the closed form.
+  const std::int64_t s = t_sub - 1 - p;
+  const std::int64_t t = slot - p;
+  const std::int64_t c0 = floor_div(t - (t_sub - 1), k_rows_);
+  const std::int64_t dc = s / k_rows_;
+  return static_cast<int>(((c0 + dc) % 2 + 2) % 2);
+}
+
+}  // namespace chainnn::chain

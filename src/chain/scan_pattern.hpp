@@ -1,0 +1,111 @@
+// The column-wise scan input pattern (§IV.C, Fig. 5(b)), generalized to
+// rectangular K_r x K_c kernels and partial strips.
+//
+// A strip streams `strip_rows` rows of a (decimated, padded) ifmap
+// channel, column-major, such that strip pixel (r, c) enters the chain at
+// slot
+//
+//     tau(r, c) = K_r * c + r
+//
+// on channel (c mod 2) — even strip columns ride channel 0, odd columns
+// channel 1 (for K = 3 this reproduces the timestamps printed in the
+// paper's Fig. 5(b) exactly, offset by 1 because the paper counts from 1).
+//
+// The sliding-window property: scan position s of window (r0, c0) is the
+// pixel (r0 + s mod K_r, c0 + s div K_r), which by the formula above
+// arrives at slot
+//
+//     t(r0, c0) - (T - 1) + s,   with  t(r0, c0) = K_r*c0 + r0 + T - 1
+//
+// and T = K_r*K_c. So after a T-slot warm-up, each slot completes exactly
+// one window: the last T operands seen by a primitive are always a valid
+// window in column-wise scan order. Each PE's multiplexer alternates
+// between the channels with period 2*K_r depending on the parity of the
+// window column its scan position reads — see mux_select().
+//
+// The single-channel variant (Fig. 5(a)) streams one output row at a
+// time (rows [r0, r0+K_r-1], tau = K_r*c + (r - r0), all on channel 0):
+// windows then complete every K_r slots — the 1/K utilization the paper
+// uses to motivate the dual-channel PE.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace chainnn::chain {
+
+// One pixel scheduled on a channel at a slot, in strip-local coordinates.
+struct ScheduledPixel {
+  std::int64_t slot = 0;
+  int channel = 0;          // 0 = OddIF (even strip columns), 1 = EvenIF
+  std::int64_t row = 0;     // strip-local row
+  std::int64_t col = 0;     // strip-local column
+};
+
+// A window completion: at `slot`, the window with top row `r0` (strip-
+// local) and left column `c0` finishes (its psum leaves the primitive
+// T + pipeline cycles later; the pattern works in stream slots).
+struct WindowCompletion {
+  std::int64_t slot = 0;
+  std::int64_t r0 = 0;
+  std::int64_t c0 = 0;
+};
+
+// The pattern for one strip of one (sub-)convolution.
+class StripPattern {
+ public:
+  // `k_rows`/`k_cols`: kernel extent; `strip_rows`: rows streamed (=
+  // out_rows + k_rows - 1, at most 2*k_rows - 1); `cols`: strip width;
+  // `out_rows`: valid window top rows (<= k_rows); `dual_channel`:
+  // selects the Fig. 5(b) dual-channel pattern vs the Fig. 5(a) single-
+  // channel one.
+  StripPattern(std::int64_t k_rows, std::int64_t k_cols,
+               std::int64_t strip_rows, std::int64_t cols,
+               std::int64_t out_rows, bool dual_channel);
+
+  [[nodiscard]] std::int64_t k_rows() const { return k_rows_; }
+  [[nodiscard]] std::int64_t k_cols() const { return k_cols_; }
+  [[nodiscard]] std::int64_t taps() const { return k_rows_ * k_cols_; }
+  [[nodiscard]] std::int64_t cols() const { return cols_; }
+  [[nodiscard]] std::int64_t out_rows() const { return out_rows_; }
+  [[nodiscard]] bool dual_channel() const { return dual_channel_; }
+
+  // Total stream slots for the strip (the per-pass cycle cost).
+  [[nodiscard]] std::int64_t num_slots() const { return num_slots_; }
+
+  // Pixel (if any) entering `channel` at `slot`.
+  [[nodiscard]] std::optional<ScheduledPixel> pixel_at(
+      std::int64_t slot, int channel) const;
+
+  // All scheduled pixels, slot-ordered (for tests and the streamer).
+  [[nodiscard]] std::vector<ScheduledPixel> schedule() const;
+
+  // All window completions, slot-ordered.
+  [[nodiscard]] std::vector<WindowCompletion> completions() const;
+
+  // Window (if any) completing at `slot` — one per slot in steady state
+  // for the dual-channel pattern.
+  [[nodiscard]] std::optional<WindowCompletion> completion_at(
+      std::int64_t slot) const;
+
+  // Which channel PE position `p` (0 = nearest the stream input inside a
+  // primitive of `taps_phys` >= taps() PEs) must select at stream slot
+  // `slot` of the window it is then serving. This is the period-2*K_r
+  // multiplexer schedule of the dual-channel PE (Fig. 6); single-channel
+  // patterns always return 0.
+  [[nodiscard]] int mux_select(std::int64_t p, std::int64_t slot) const;
+
+ private:
+  std::int64_t k_rows_;
+  std::int64_t k_cols_;
+  std::int64_t strip_rows_;
+  std::int64_t cols_;
+  std::int64_t out_rows_;
+  bool dual_channel_;
+  std::int64_t num_slots_ = 0;
+};
+
+}  // namespace chainnn::chain

@@ -1,0 +1,45 @@
+// Lightweight precondition / invariant checking for the Chain-NN libraries.
+//
+// CHAINNN_CHECK is always on (simulation correctness depends on catching
+// misconfiguration early; the cost is negligible relative to simulation
+// work). Violations throw std::logic_error with file/line context so tests
+// can assert on them and applications get an actionable message.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace chainnn {
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHAINNN_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace chainnn
+
+// Checks `cond`; on failure throws std::logic_error. Additional streamed
+// context may be supplied via CHAINNN_CHECK_MSG.
+#define CHAINNN_CHECK(cond)                                               \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::chainnn::detail::check_failed(#cond, __FILE__, __LINE__, "");     \
+  } while (false)
+
+#define CHAINNN_CHECK_MSG(cond, msg_expr)                                 \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream os_;                                             \
+      os_ << msg_expr;                                                    \
+      ::chainnn::detail::check_failed(#cond, __FILE__, __LINE__,          \
+                                      os_.str());                         \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,42 @@
+// Tiny command-line flag parser for the example binaries.
+//
+// Supports --name=value and --name value forms plus boolean switches.
+// Unrecognized flags are an error so typos surface immediately.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace chainnn {
+
+class CliFlags {
+ public:
+  // Parses argv; `spec` maps flag name (without dashes) to a default value.
+  // Returns false and fills `error` if an unknown flag or malformed value
+  // was seen.
+  bool parse(int argc, const char* const* argv,
+             const std::map<std::string, std::string>& defaults,
+             std::string* error);
+
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  // Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  // Renders "--name=default" lines for a usage message.
+  [[nodiscard]] static std::string usage(
+      const std::map<std::string, std::string>& defaults);
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace chainnn

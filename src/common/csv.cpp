@@ -1,0 +1,58 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+
+namespace chainnn {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CHAINNN_CHECK(!header_.empty());
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  CHAINNN_CHECK_MSG(row.size() == header_.size(),
+                    "CSV row width " << row.size() << " != header width "
+                                     << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream os;
+  auto emit = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) os << ',';
+      os << escape(cells[i]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    log::error() << "cannot open " << path << " for writing";
+    return false;
+  }
+  f << to_string();
+  return static_cast<bool>(f);
+}
+
+}  // namespace chainnn

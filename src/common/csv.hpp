@@ -1,0 +1,29 @@
+// CSV emission for bench results so plots can be regenerated offline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace chainnn {
+
+// Accumulates rows and writes RFC-4180-ish CSV (quotes cells containing
+// commas, quotes or newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::string to_string() const;
+
+  // Writes to `path`; returns false (and logs) on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace chainnn

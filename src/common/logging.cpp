@@ -1,0 +1,34 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace chainnn::log {
+
+namespace {
+
+std::atomic<Level> g_level{Level::kInfo};
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo:  return "INFO";
+    case Level::kWarn:  return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff:   return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(level); }
+
+Level level() { return g_level.load(); }
+
+void emit(Level lvl, const std::string& msg) {
+  if (static_cast<int>(lvl) < static_cast<int>(g_level.load())) return;
+  std::cerr << "[chain-nn] " << level_name(lvl) << ": " << msg << '\n';
+}
+
+}  // namespace chainnn::log

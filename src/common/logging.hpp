@@ -1,0 +1,58 @@
+// Minimal leveled logger for the Chain-NN tools.
+//
+// Simulation inner loops never log; logging is for harness-level progress
+// (layer start/finish, pass summaries). Output goes to stderr so bench
+// table output on stdout stays machine-parseable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace chainnn::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global threshold; messages below it are dropped. Defaults to kInfo.
+void set_level(Level level);
+[[nodiscard]] Level level();
+
+// Emits `msg` at `lvl` with a "[chain-nn] LEVEL:" prefix.
+void emit(Level lvl, const std::string& msg);
+
+namespace detail {
+
+class LineBuilder {
+ public:
+  explicit LineBuilder(Level lvl) : lvl_(lvl) {}
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+  ~LineBuilder() { emit(lvl_, os_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  Level lvl_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+// Usage: chainnn::log::info() << "layer " << i << " done";
+[[nodiscard]] inline detail::LineBuilder debug() {
+  return detail::LineBuilder(Level::kDebug);
+}
+[[nodiscard]] inline detail::LineBuilder info() {
+  return detail::LineBuilder(Level::kInfo);
+}
+[[nodiscard]] inline detail::LineBuilder warn() {
+  return detail::LineBuilder(Level::kWarn);
+}
+[[nodiscard]] inline detail::LineBuilder error() {
+  return detail::LineBuilder(Level::kError);
+}
+
+}  // namespace chainnn::log

@@ -1,0 +1,63 @@
+#include "common/strings.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace chainnn::strings {
+
+std::string fmt_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string fmt_si(double v, int decimals) {
+  const double a = std::fabs(v);
+  if (a >= 1e12) return fmt_fixed(v / 1e12, decimals) + " T";
+  if (a >= 1e9) return fmt_fixed(v / 1e9, decimals) + " G";
+  if (a >= 1e6) return fmt_fixed(v / 1e6, decimals) + " M";
+  if (a >= 1e3) return fmt_fixed(v / 1e3, decimals) + " k";
+  return fmt_fixed(v, decimals);
+}
+
+std::string fmt_bytes(double bytes, int decimals) {
+  const double a = std::fabs(bytes);
+  if (a >= 1024.0 * 1024.0 * 1024.0)
+    return fmt_fixed(bytes / (1024.0 * 1024.0 * 1024.0), decimals) + "GB";
+  if (a >= 1024.0 * 1024.0)
+    return fmt_fixed(bytes / (1024.0 * 1024.0), decimals) + "MB";
+  if (a >= 1024.0) return fmt_fixed(bytes / 1024.0, decimals) + "KB";
+  return fmt_fixed(bytes, decimals) + "B";
+}
+
+std::string fmt_pct(double fraction, int decimals) {
+  return fmt_fixed(fraction * 100.0, decimals) + "%";
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) os << sep;
+    os << parts[i];
+  }
+  return os.str();
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace chainnn::strings

@@ -1,0 +1,35 @@
+// String formatting helpers shared by the report tables and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chainnn::strings {
+
+// Fixed-decimal formatting, e.g. fmt_fixed(806.4, 1) -> "806.4".
+[[nodiscard]] std::string fmt_fixed(double v, int decimals);
+
+// Formats with SI-style suffix chosen by magnitude: 1.42 k, 3.75 M, ...
+[[nodiscard]] std::string fmt_si(double v, int decimals);
+
+// Human-readable byte count using binary units (KB = 1024 B, as the paper
+// uses): "352.0KB", "24.5MB".
+[[nodiscard]] std::string fmt_bytes(double bytes, int decimals);
+
+// Percentage with a trailing '%': fmt_pct(0.998, 1) -> "99.8%".
+[[nodiscard]] std::string fmt_pct(double fraction, int decimals);
+
+// Joins `parts` with `sep`.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               const std::string& sep);
+
+// Left/right padding to a field width (spaces).
+[[nodiscard]] std::string pad_left(const std::string& s, std::size_t width);
+[[nodiscard]] std::string pad_right(const std::string& s, std::size_t width);
+
+// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(const std::string& s,
+                               const std::string& prefix);
+
+}  // namespace chainnn::strings

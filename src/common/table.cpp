@@ -1,0 +1,72 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace chainnn {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  CHAINNN_CHECK(!header.empty());
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  CHAINNN_CHECK_MSG(row.size() == header_.size(),
+                    "row has " << row.size() << " cells, header has "
+                               << header_.size());
+  rows_.push_back(Row{std::move(row), pending_separator_});
+  pending_separator_ = false;
+}
+
+void TextTable::add_separator() { pending_separator_ = true; }
+
+std::vector<std::size_t> TextTable::column_widths() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const Row& r : rows_)
+    for (std::size_t c = 0; c < r.cells.size(); ++c)
+      widths[c] = std::max(widths[c], r.cells[c].size());
+  return widths;
+}
+
+std::string TextTable::to_ascii() const {
+  const auto widths = column_widths();
+  auto hline = [&widths]() {
+    std::string s = "+";
+    for (std::size_t w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&widths](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      s += " " + strings::pad_right(cells[c], widths[c]) + " |";
+    return s + "\n";
+  };
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << "\n";
+  os << hline() << line(header_) << hline();
+  for (const Row& r : rows_) {
+    if (r.separator_before) os << hline();
+    os << line(r.cells);
+  }
+  os << hline();
+  return os.str();
+}
+
+std::string TextTable::to_markdown() const {
+  std::ostringstream os;
+  if (!title_.empty()) os << "### " << title_ << "\n\n";
+  os << "| " << strings::join(header_, " | ") << " |\n|";
+  for (std::size_t c = 0; c < header_.size(); ++c) os << "---|";
+  os << "\n";
+  for (const Row& r : rows_)
+    os << "| " << strings::join(r.cells, " | ") << " |\n";
+  return os.str();
+}
+
+}  // namespace chainnn

@@ -1,0 +1,54 @@
+// Engineering units used across the Chain-NN model: operation rates,
+// power, energy, memory sizes and clock frequencies.
+//
+// All quantities are carried as doubles in base SI units (ops/s, W, J,
+// bytes, Hz); these helpers exist to make call sites read like the paper
+// ("806.4 GOPS", "567.5 mW", "352 KB", "700 MHz") and to format values the
+// same way the paper's tables do.
+#pragma once
+
+#include <cstdint>
+
+namespace chainnn::units {
+
+// --- scale factors -------------------------------------------------------
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kNano = 1e-9;
+inline constexpr double kPico = 1e-12;
+inline constexpr double kFemto = 1e-15;
+
+// Binary memory sizes (the paper uses KB = 1024 bytes: "352KB on-chip").
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+
+// --- constructors ---------------------------------------------------------
+[[nodiscard]] constexpr double mhz(double v) { return v * kMega; }
+[[nodiscard]] constexpr double ghz(double v) { return v * kGiga; }
+[[nodiscard]] constexpr double gops(double v) { return v * kGiga; }
+[[nodiscard]] constexpr double mw(double v) { return v * kMilli; }
+[[nodiscard]] constexpr double pj(double v) { return v * kPico; }
+[[nodiscard]] constexpr double nj(double v) { return v * kNano; }
+[[nodiscard]] constexpr double kib(double v) { return v * kKiB; }
+[[nodiscard]] constexpr double mib(double v) { return v * kMiB; }
+[[nodiscard]] constexpr double ms(double v) { return v * kMilli; }
+
+// --- accessors (value in the named unit) ---------------------------------
+[[nodiscard]] constexpr double as_mhz(double hz) { return hz / kMega; }
+[[nodiscard]] constexpr double as_gops(double ops) { return ops / kGiga; }
+[[nodiscard]] constexpr double as_mw(double w) { return w / kMilli; }
+[[nodiscard]] constexpr double as_ms(double s) { return s / kMilli; }
+[[nodiscard]] constexpr double as_kib(double b) { return b / kKiB; }
+[[nodiscard]] constexpr double as_mib(double b) { return b / kMiB; }
+[[nodiscard]] constexpr double as_pj(double j) { return j / kPico; }
+
+// Throughput-per-power in GOPS/W, the paper's headline efficiency metric.
+[[nodiscard]] constexpr double gops_per_watt(double ops_per_s, double watts) {
+  return (ops_per_s / kGiga) / watts;
+}
+
+}  // namespace chainnn::units

@@ -1,0 +1,18 @@
+#include "dataflow/array_shape.hpp"
+
+#include <sstream>
+
+#include "common/units.hpp"
+
+namespace chainnn::dataflow {
+
+std::string ArrayShape::to_string() const {
+  std::ostringstream os;
+  os << num_pes << " PEs @ " << units::as_mhz(clock_hz) << " MHz, "
+     << kmem_words_per_pe << " kernel words/PE, "
+     << (dual_channel ? "dual" : "single") << "-channel, "
+     << pipeline_stages << "-stage MAC";
+  return os.str();
+}
+
+}  // namespace chainnn::dataflow

@@ -1,0 +1,41 @@
+// Physical parameters of a Chain-NN instance that the dataflow compiler
+// plans against. The paper's instantiation (§V.B): 576 PEs, 256 kernel
+// words per PE, 700 MHz, 3-stage pipelined MAC, dual ifmap channels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace chainnn::dataflow {
+
+struct ArrayShape {
+  std::int64_t num_pes = 576;
+  std::int64_t kmem_words_per_pe = 256;  // 512B register file per PE
+  double clock_hz = 700e6;
+  int pipeline_stages = 3;  // per-PE MAC pipeline depth (§V.B)
+  bool dual_channel = true;  // false models the single-channel Fig. 5(a) PE
+
+  // Number of whole primitives of `taps` PEs that fit in the chain.
+  [[nodiscard]] std::int64_t primitives_for(std::int64_t taps) const {
+    return taps > 0 ? num_pes / taps : 0;
+  }
+  // Active PEs when regrouped for `taps`-PE primitives (Table II).
+  [[nodiscard]] std::int64_t active_pes_for(std::int64_t taps) const {
+    return primitives_for(taps) * taps;
+  }
+  [[nodiscard]] double pe_utilization_for(std::int64_t taps) const {
+    return num_pes == 0 ? 0.0
+                        : static_cast<double>(active_pes_for(taps)) /
+                              static_cast<double>(num_pes);
+  }
+
+  // Peak throughput in ops/s counting 2 ops (mul + add) per MAC per cycle
+  // — the paper's 806.4 GOPS for 576 PEs at 700 MHz.
+  [[nodiscard]] double peak_ops_per_s() const {
+    return 2.0 * static_cast<double>(num_pes) * clock_hz;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace chainnn::dataflow

@@ -1,0 +1,52 @@
+#include "dataflow/stride_decompose.hpp"
+
+#include "common/check.hpp"
+
+namespace chainnn::dataflow {
+
+std::vector<SubConv> decompose_strided(const nn::ConvLayerParams& p) {
+  p.validate();
+  const std::int64_t s = p.stride;
+  const std::int64_t k = p.kernel;
+  const std::int64_t h_pad = p.in_height + 2 * p.pad;
+  const std::int64_t w_pad = p.in_width + 2 * p.pad;
+
+  std::vector<SubConv> subs;
+  for (std::int64_t a = 0; a < s && a < k; ++a) {
+    for (std::int64_t b = 0; b < s && b < k; ++b) {
+      SubConv sc;
+      sc.phase_row = a;
+      sc.phase_col = b;
+      sc.kernel_rows = (k - a + s - 1) / s;
+      sc.kernel_cols = (k - b + s - 1) / s;
+      // Decimated grid: padded rows {a, a+S, a+2S, ...}.
+      sc.in_rows = a < h_pad ? (h_pad - a + s - 1) / s : 0;
+      sc.in_cols = b < w_pad ? (w_pad - b + s - 1) / s : 0;
+      subs.push_back(sc);
+    }
+  }
+
+  // Invariant: tap counts partition the kernel exactly.
+  std::int64_t taps = 0;
+  for (const SubConv& sc : subs) taps += sc.taps();
+  CHAINNN_CHECK_MSG(taps == k * k, "phase decomposition lost taps: " << taps
+                                                                     << " vs "
+                                                                     << k * k);
+  return subs;
+}
+
+TapMapping map_tap(const nn::ConvLayerParams& p, std::int64_t ky,
+                   std::int64_t kx) {
+  CHAINNN_CHECK(ky >= 0 && ky < p.kernel && kx >= 0 && kx < p.kernel);
+  const std::int64_t s = p.stride;
+  TapMapping m;
+  const std::int64_t a = ky % s;
+  const std::int64_t b = kx % s;
+  const std::int64_t phases_per_row = std::min(s, p.kernel);
+  m.sub_index = a * phases_per_row + b;
+  m.sub_ky = ky / s;
+  m.sub_kx = kx / s;
+  return m;
+}
+
+}  // namespace chainnn::dataflow

@@ -1,0 +1,67 @@
+// Kernel-phase decomposition of strided convolutions.
+//
+// The column-wise scan input pattern (§IV.C) delivers one convolution
+// window per cycle only for stride-1 layers: the sliding-window property
+// relies on vertically adjacent windows sharing all but one pixel of
+// their column-wise scans. For stride S > 1 (AlexNet conv1, S = 4) that
+// overlap breaks.
+//
+// We therefore execute strided layers as a sum of stride-1 sub-
+// convolutions: partition kernel taps by (ky mod S, kx mod S). Phase
+// (a, b) forms a ceil((K-a)/S) x ceil((K-b)/S) sub-kernel applied at
+// stride 1 to the input decimated to the (a, b) sub-grid. Summing the
+// S*S sub-convolutions reproduces the strided convolution exactly (the
+// MAC count is unchanged: sub-kernel tap counts sum to K²), and every
+// sub-convolution runs with the full dual-channel utilization.
+//
+// The paper itself never explains strided execution; its conv1 figures
+// imply a 1/S utilization model, which we also provide analytically (see
+// plan.hpp StridedTiming) so Fig. 9 can be reproduced in the paper's own
+// terms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/conv_params.hpp"
+
+namespace chainnn::dataflow {
+
+// One stride-1 sub-convolution of the phase decomposition.
+struct SubConv {
+  std::int64_t phase_row = 0;  // a = ky mod S of the taps in this phase
+  std::int64_t phase_col = 0;  // b = kx mod S
+  std::int64_t kernel_rows = 1;  // K_r = ceil((K-a)/S)
+  std::int64_t kernel_cols = 1;  // K_c = ceil((K-b)/S)
+  // Decimated (padded) input extent this phase reads.
+  std::int64_t in_rows = 0;
+  std::int64_t in_cols = 0;
+
+  [[nodiscard]] std::int64_t taps() const { return kernel_rows * kernel_cols; }
+};
+
+// Decomposes `p` into stride-1 sub-convolutions. For stride-1 layers the
+// result is a single SubConv equal to the layer itself (identity
+// decomposition), so callers can treat all layers uniformly.
+[[nodiscard]] std::vector<SubConv> decompose_strided(
+    const nn::ConvLayerParams& p);
+
+// Maps an original kernel tap (ky, kx) to its sub-conv and position.
+struct TapMapping {
+  std::int64_t sub_index = 0;   // index into decompose_strided() output
+  std::int64_t sub_ky = 0;      // row inside the sub-kernel (= ky div S)
+  std::int64_t sub_kx = 0;      // col inside the sub-kernel
+};
+[[nodiscard]] TapMapping map_tap(const nn::ConvLayerParams& p,
+                                 std::int64_t ky, std::int64_t kx);
+
+// The decimated-input coordinate (row) that sub-conv output row `oy`
+// with sub-kernel row offset `j` touches, mapped back to padded-input
+// coordinates: S*(oy + j) + phase.
+[[nodiscard]] inline std::int64_t padded_row_of(std::int64_t stride,
+                                                std::int64_t phase,
+                                                std::int64_t decimated_row) {
+  return stride * decimated_row + phase;
+}
+
+}  // namespace chainnn::dataflow

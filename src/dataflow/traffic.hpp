@@ -1,0 +1,98 @@
+// Analytic memory-traffic model — regenerates the paper's Table IV
+// ("memory communication breakdown") from an execution plan.
+//
+// Counting rules (derived in DESIGN.md §4-5 from the paper's §V.C and the
+// Table IV data itself):
+//   iMemory reads  — every real (non-padding) ifmap pixel streamed into
+//                    the chain: one read per pixel per strip pass, i.e.
+//                    about (2K-1)/K reads per pixel per m-group.
+//   kMemory reads  — one weight read per active PE per (strip, channel)
+//                    pass (the weight then stays in the MAC operand
+//                    register for the whole pattern — activity factor
+//                    ~1/KE, §V.C); writes = kernel loads, once per batch.
+//   oMemory        — one partial-sum read + write per window completion
+//                    (16-bit words; first accumulation pass skips the
+//                    read).
+//   DRAM           — ifmaps fetched once per (strip, channel) when a
+//                    channel strip fits in iMemory (kernels for several
+//                    m-groups are then cycled from kMemory), otherwise
+//                    refetched per m-group; kernels once per batch;
+//                    ofmaps written once.
+#pragma once
+
+#include <cstdint>
+
+#include "dataflow/plan.hpp"
+#include "mem/hierarchy.hpp"
+
+namespace chainnn::dataflow {
+
+struct TrafficModelOptions {
+  std::uint64_t word_bytes = 2;         // 16-bit operands
+  std::uint64_t imemory_bytes = 32 * 1024;
+  bool count_padding_as_stream = false;  // pad pixels are generated, not read
+};
+
+struct LayerTrafficModel {
+  // Per-batch byte counts, split by operand where meaningful.
+  std::uint64_t dram_ifmap = 0;
+  std::uint64_t dram_kernel = 0;
+  std::uint64_t dram_ofmap = 0;
+  // Partial-sum spill when the channel dimension needs several kMemory
+  // residencies (c_tiles > 1, e.g. VGG's C = 512 layers).
+  std::uint64_t dram_psum = 0;
+  std::uint64_t imem_reads = 0;
+  std::uint64_t imem_writes = 0;
+  std::uint64_t kmem_reads = 0;
+  std::uint64_t kmem_writes = 0;
+  std::uint64_t omem_reads = 0;
+  std::uint64_t omem_writes = 0;
+
+  [[nodiscard]] std::uint64_t dram_total() const {
+    return dram_ifmap + dram_kernel + dram_ofmap + dram_psum;
+  }
+  [[nodiscard]] std::uint64_t imem_total() const {
+    return imem_reads + imem_writes;
+  }
+  [[nodiscard]] std::uint64_t kmem_total() const {
+    return kmem_reads + kmem_writes;
+  }
+  [[nodiscard]] std::uint64_t omem_total() const {
+    return omem_reads + omem_writes;
+  }
+};
+
+// Models traffic for `batch` images of the planned layer.
+[[nodiscard]] LayerTrafficModel model_traffic(const ExecutionPlan& plan,
+                                              std::int64_t batch,
+                                              const TrafficModelOptions& opt =
+                                                  {});
+
+// Real (non-padding) pixels streamed for one strip of one channel of one
+// sub-convolution — exposed for tests and for the cycle simulator, which
+// must charge iMemory identically.
+[[nodiscard]] std::int64_t strip_real_pixels(const nn::ConvLayerParams& layer,
+                                             const SubConv& sub,
+                                             const Strip& strip);
+
+// Same, for the single-channel (Fig. 5(a)) pattern, which re-streams each
+// output row's K_r-row band.
+[[nodiscard]] std::int64_t strip_real_pixels_single_channel(
+    const nn::ConvLayerParams& layer, const SubConv& sub,
+    const Strip& strip);
+
+// Strip pixels counting materialized zero-padding as streamed words (the
+// accounting Table IV's iMemory column uses — see model_traffic's
+// count_padding_as_stream option).
+[[nodiscard]] std::int64_t strip_padded_pixels(
+    const nn::ConvLayerParams& layer, const SubConv& sub,
+    const Strip& strip);
+
+// Average ifmap reads-per-pixel factor ((2K-1)/K in the paper's §V.C).
+[[nodiscard]] double ifmap_reuse_factor(const ExecutionPlan& plan);
+
+// kMemory activity factor during streaming: reads per cycle (the paper
+// quotes 1/KE ≈ 2.22% for AlexNet conv3).
+[[nodiscard]] double kmem_activity_factor(const ExecutionPlan& plan);
+
+}  // namespace chainnn::dataflow

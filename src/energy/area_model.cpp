@@ -1,0 +1,19 @@
+#include "energy/area_model.hpp"
+
+#include "common/check.hpp"
+
+namespace chainnn::energy {
+
+double scale_efficiency_to_node(double gops_per_w, double from_nm,
+                                double to_nm) {
+  CHAINNN_CHECK(from_nm > 0 && to_nm > 0);
+  return gops_per_w * (from_nm / to_nm);
+}
+
+double area_efficiency_ratio(double gates_per_pe_ours,
+                             double gates_per_pe_theirs) {
+  CHAINNN_CHECK(gates_per_pe_ours > 0);
+  return gates_per_pe_theirs / gates_per_pe_ours;
+}
+
+}  // namespace chainnn::energy

@@ -1,0 +1,31 @@
+// Gate-count / area model and technology scaling (§V.D, Table V).
+#pragma once
+
+#include <cstdint>
+
+namespace chainnn::energy {
+
+struct AreaModel {
+  // Paper: Chain-NN costs 6.51k gates per PE (3751k total for 576 PEs
+  // including control); Eyeriss is quoted at 11.02k gates per PE.
+  double gates_per_pe = 6510.0;
+  double control_overhead_gates = 1240.0;  // 3751k - 576*6.51k
+
+  [[nodiscard]] double total_gates(std::int64_t num_pes) const {
+    return gates_per_pe * static_cast<double>(num_pes) +
+           control_overhead_gates;
+  }
+};
+
+// Linear feature-size scaling of energy efficiency between technology
+// nodes — the scaling the paper applies to Eyeriss's 65 nm figure
+// (245.6 GOPS/W -> "expected 570.1 GOPS/W at 28 nm"), i.e. a 65/28 factor.
+[[nodiscard]] double scale_efficiency_to_node(double gops_per_w,
+                                              double from_nm, double to_nm);
+
+// Area efficiency ratio between two designs (gates per PE), the paper's
+// "1.7 times area efficiency" claim.
+[[nodiscard]] double area_efficiency_ratio(double gates_per_pe_ours,
+                                           double gates_per_pe_theirs);
+
+}  // namespace chainnn::energy

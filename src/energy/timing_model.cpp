@@ -1,0 +1,28 @@
+#include "energy/timing_model.hpp"
+
+#include "common/check.hpp"
+
+namespace chainnn::energy {
+
+double TimingModel::critical_path_s(int stages) const {
+  CHAINNN_CHECK_MSG(stages >= 1, "pipeline needs at least one stage");
+  return logic_depth_s / static_cast<double>(stages) + register_overhead_s;
+}
+
+double TimingModel::max_clock_hz(int stages) const {
+  return 1.0 / critical_path_s(stages);
+}
+
+double TimingModel::peak_ops_per_s(int stages, std::int64_t num_pes) const {
+  CHAINNN_CHECK(num_pes > 0);
+  return 2.0 * static_cast<double>(num_pes) * max_clock_hz(stages);
+}
+
+double TimingModel::pe_energy_scale(int stages) const {
+  CHAINNN_CHECK(stages >= 1);
+  // 3-stage design is the 1.0 reference; each stage shifts the flop
+  // share by ~5%.
+  return 1.0 + 0.05 * static_cast<double>(stages - 3);
+}
+
+}  // namespace chainnn::energy

@@ -1,0 +1,47 @@
+// Critical-path timing model: how the per-PE MAC pipeline depth sets the
+// achievable clock frequency.
+//
+// §IV.B / §V.B: "each [PE] is pipelined into three stages so that the
+// critical path delay is reduced to 1.428ns (700MHz)", and "other
+// pipelining schemes may produce more efficient architectures" is left
+// as future work. This model makes that trade explorable: the MAC
+// datapath (16x16 multiply + 48-bit add + mux/select) has a fixed total
+// logic depth; pipelining splits it into `stages` segments plus a
+// register overhead per stage (setup + clk-to-q).
+//
+//   t_stage = t_logic / stages + t_reg
+//   f_max   = 1 / t_stage
+//
+// Calibrated so stages = 3 gives exactly the paper's 1.428 ns critical
+// path, with a register overhead typical of a 28 nm HPC flop (~120 ps).
+// The pipeline ablation bench sweeps stages to show the throughput /
+// latency / register-energy trade.
+#pragma once
+
+#include <cstdint>
+
+namespace chainnn::energy {
+
+struct TimingModel {
+  // Total unpipelined MAC logic depth and per-stage register overhead.
+  // Defaults calibrated to the paper: 3 stages -> 1.428 ns.
+  double logic_depth_s = 3.924e-9;  // 3 * (1.428n - 0.12n)
+  double register_overhead_s = 0.12e-9;
+
+  // Critical path for a MAC pipelined into `stages` stages.
+  [[nodiscard]] double critical_path_s(int stages) const;
+
+  // Maximum clock frequency for `stages`.
+  [[nodiscard]] double max_clock_hz(int stages) const;
+
+  // Peak throughput of `num_pes` PEs at the stage-limited clock.
+  [[nodiscard]] double peak_ops_per_s(int stages,
+                                      std::int64_t num_pes) const;
+
+  // Relative per-PE energy vs the 3-stage design: each extra pipeline
+  // stage adds register energy (~5% of PE energy per stage, a typical
+  // flop-power share for this datapath width).
+  [[nodiscard]] double pe_energy_scale(int stages) const;
+};
+
+}  // namespace chainnn::energy

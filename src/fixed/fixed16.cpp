@@ -1,0 +1,133 @@
+#include "fixed/fixed16.hpp"
+
+#include <cmath>
+
+namespace chainnn::fixed {
+
+std::string FixedFormat::to_string() const {
+  return "Q" + std::to_string(15 - frac_bits) + "." +
+         std::to_string(frac_bits);
+}
+
+void NarrowingStats::merge(const NarrowingStats& other) {
+  count += other.count;
+  saturations += other.saturations;
+  if (other.max_abs_error > max_abs_error)
+    max_abs_error = other.max_abs_error;
+  sum_sq_error += other.sum_sq_error;
+}
+
+namespace {
+
+// Saturates a wide integer into int16 range, recording the event.
+std::int16_t saturate16(std::int64_t v, Overflow overflow,
+                        NarrowingStats* stats) {
+  if (v > 32767 || v < -32768) {
+    if (stats) ++stats->saturations;
+    if (overflow == Overflow::kSaturate)
+      return v > 0 ? std::int16_t{32767} : std::int16_t{-32768};
+    // Wraparound: keep the low 16 bits, interpreted as two's complement.
+    return static_cast<std::int16_t>(static_cast<std::uint16_t>(
+        static_cast<std::uint64_t>(v) & 0xffffULL));
+  }
+  return static_cast<std::int16_t>(v);
+}
+
+}  // namespace
+
+std::int16_t quantize_scalar(double value, FixedFormat fmt,
+                             Rounding rounding, Overflow overflow,
+                             NarrowingStats* stats) {
+  const double scaled = value * fmt.scale();
+  double rounded = 0.0;
+  switch (rounding) {
+    case Rounding::kNearestEven: {
+      rounded = std::nearbyint(scaled);  // assumes FE_TONEAREST (default)
+      break;
+    }
+    case Rounding::kNearestUp:
+      rounded = std::round(scaled);
+      break;
+    case Rounding::kTruncate:
+      // Hardware truncation drops fraction bits of the two's-complement
+      // value, which is a floor, not round-toward-zero.
+      rounded = std::floor(scaled);
+      break;
+  }
+  // Clamp through a 64-bit value before saturation so huge floats are safe.
+  double clamped = rounded;
+  if (clamped > 1e18) clamped = 1e18;
+  if (clamped < -1e18) clamped = -1e18;
+  const auto wide = static_cast<std::int64_t>(clamped);
+  const std::int16_t raw = saturate16(wide, overflow, stats);
+  if (stats) {
+    ++stats->count;
+    const double err = value - static_cast<double>(raw) / fmt.scale();
+    const double abs_err = std::fabs(err);
+    if (abs_err > stats->max_abs_error) stats->max_abs_error = abs_err;
+    stats->sum_sq_error += err * err;
+  }
+  return raw;
+}
+
+std::int64_t shift_right_rounded(std::int64_t v, int shift,
+                                 Rounding rounding) {
+  if (shift <= 0) {
+    // Left shift; guard against overflow by clamping to int64 limits.
+    const int left = -shift;
+    if (left >= 63) return v >= 0 ? Accumulator48::kMax : Accumulator48::kMin;
+    return v << left;
+  }
+  if (shift >= 63) return v < 0 ? -1 : 0;
+
+  const std::int64_t floor_shifted = v >> shift;  // arithmetic shift
+  const std::int64_t remainder = v - (floor_shifted << shift);
+  const std::int64_t half = std::int64_t{1} << (shift - 1);
+
+  switch (rounding) {
+    case Rounding::kTruncate:
+      // Dropping bits of a two's-complement value is an arithmetic shift,
+      // i.e. floor.
+      return floor_shifted;
+    case Rounding::kNearestUp:
+      if (v >= 0) return floor_shifted + (remainder >= half ? 1 : 0);
+      // Negative: round half away from zero.
+      return floor_shifted + (remainder > half ? 1 : 0);
+    case Rounding::kNearestEven: {
+      if (remainder > half) return floor_shifted + 1;
+      if (remainder < half) return floor_shifted;
+      // Exactly halfway: round to even.
+      return (floor_shifted % 2 == 0) ? floor_shifted : floor_shifted + 1;
+    }
+  }
+  return floor_shifted;
+}
+
+std::int16_t narrow_to_fixed16(std::int64_t acc, int acc_frac_bits,
+                               FixedFormat out_fmt, Rounding rounding,
+                               Overflow overflow, NarrowingStats* stats) {
+  const int shift = acc_frac_bits - out_fmt.frac_bits;
+  const std::int64_t shifted = shift_right_rounded(acc, shift, rounding);
+  const std::int16_t raw = saturate16(shifted, overflow, stats);
+  if (stats) {
+    ++stats->count;
+    const double exact = static_cast<double>(acc) /
+                         std::pow(2.0, static_cast<double>(acc_frac_bits));
+    const double err = exact - static_cast<double>(raw) / out_fmt.scale();
+    const double abs_err = std::fabs(err);
+    if (abs_err > stats->max_abs_error) stats->max_abs_error = abs_err;
+    stats->sum_sq_error += err * err;
+  }
+  return raw;
+}
+
+std::int16_t Accumulator48::narrow(FixedFormat operand_fmt,
+                                   FixedFormat out_fmt, Rounding rounding,
+                                   Overflow overflow,
+                                   NarrowingStats* stats) const {
+  // Accumulator carries 2*operand frac bits; move to out_fmt.frac_bits.
+  return narrow_to_fixed16(value_, 2 * operand_fmt.frac_bits, out_fmt,
+                           rounding, overflow, stats);
+}
+
+}  // namespace chainnn::fixed

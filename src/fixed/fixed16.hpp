@@ -1,0 +1,180 @@
+// 16-bit fixed-point arithmetic as implemented by the Chain-NN datapath.
+//
+// §IV.B: "each PE is in charge of a 16-bit fixed-point MAC operation".
+// Operands (ifmap pixels, kernel weights, ofmap results) are signed 16-bit
+// values in a Qm.n format; the partial-sum chain accumulates products in a
+// wide accumulator (48 bits here) so no rounding happens inside a systolic
+// primitive — only when a finished ofmap value is written back.
+//
+// The *format* (number of fraction bits) is a property of a tensor /
+// layer, not of each scalar, mirroring hardware where the datapath moves
+// raw bits and the interpretation lives in the compiler. Fixed16 is a raw
+// 16-bit value; FixedFormat supplies conversions.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace chainnn::fixed {
+
+// Rounding mode applied when narrowing (float->fixed, accumulator->fixed).
+enum class Rounding {
+  kNearestEven,  // round half to even (default; matches typical DC synthesis)
+  kNearestUp,    // round half away from zero
+  kTruncate,     // drop fraction bits (cheapest hardware)
+};
+
+// Saturation vs wraparound on overflow when narrowing.
+enum class Overflow {
+  kSaturate,  // clamp to representable range (what the RTL does)
+  kWrap,      // two's-complement wraparound (for experiments)
+};
+
+// Describes a signed fixed-point format with `frac_bits` fraction bits in
+// a 16-bit word: value = raw * 2^-frac_bits.
+struct FixedFormat {
+  int frac_bits = 8;
+
+  [[nodiscard]] constexpr double scale() const {
+    return static_cast<double>(1LL << frac_bits);
+  }
+  [[nodiscard]] constexpr double resolution() const { return 1.0 / scale(); }
+  [[nodiscard]] constexpr double max_value() const {
+    return 32767.0 / scale();
+  }
+  [[nodiscard]] constexpr double min_value() const {
+    return -32768.0 / scale();
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(const FixedFormat&,
+                                   const FixedFormat&) = default;
+};
+
+// A raw 16-bit fixed-point value. Trivially copyable; arithmetic that
+// needs a format takes one explicitly.
+class Fixed16 {
+ public:
+  constexpr Fixed16() = default;
+  constexpr explicit Fixed16(std::int16_t raw) : raw_(raw) {}
+
+  [[nodiscard]] constexpr std::int16_t raw() const { return raw_; }
+
+  // Interprets the raw bits under `fmt`.
+  [[nodiscard]] constexpr double to_double(FixedFormat fmt) const {
+    return static_cast<double>(raw_) / fmt.scale();
+  }
+
+  // Exact 32-bit product of two 16-bit operands (the multiplier output in
+  // the PE MAC). The product has 2*frac_bits fraction bits.
+  [[nodiscard]] static constexpr std::int32_t multiply(Fixed16 a, Fixed16 b) {
+    return static_cast<std::int32_t>(a.raw_) *
+           static_cast<std::int32_t>(b.raw_);
+  }
+
+  friend constexpr bool operator==(Fixed16, Fixed16) = default;
+
+ private:
+  std::int16_t raw_ = 0;
+};
+
+// Statistics gathered while narrowing values (quantization telemetry the
+// paper's float-to-fixed simulator produced to pick formats).
+struct NarrowingStats {
+  std::uint64_t count = 0;
+  std::uint64_t saturations = 0;
+  double max_abs_error = 0.0;
+  double sum_sq_error = 0.0;
+
+  [[nodiscard]] double mean_sq_error() const {
+    return count == 0 ? 0.0 : sum_sq_error / static_cast<double>(count);
+  }
+  void merge(const NarrowingStats& other);
+};
+
+// Converts `value` to raw fixed-point under `fmt` with the given rounding
+// and overflow behaviour; updates `stats` if non-null.
+[[nodiscard]] std::int16_t quantize_scalar(double value, FixedFormat fmt,
+                                           Rounding rounding,
+                                           Overflow overflow,
+                                           NarrowingStats* stats = nullptr);
+
+// The 48-bit partial-sum accumulator of a systolic primitive.
+//
+// Products (32-bit, 2*frac_bits fraction) are summed exactly; hardware
+// sizes the register so K²·C accumulations of 32-bit products cannot
+// overflow 48 bits for supported layer shapes. Overflow is detected and
+// saturated (and counted) rather than silently wrapped.
+class Accumulator48 {
+ public:
+  static constexpr std::int64_t kMax = (1LL << 47) - 1;
+  static constexpr std::int64_t kMin = -(1LL << 47);
+
+  constexpr Accumulator48() = default;
+  constexpr explicit Accumulator48(std::int64_t v) : value_(clamp(v)) {}
+
+  [[nodiscard]] constexpr std::int64_t value() const { return value_; }
+  [[nodiscard]] constexpr bool saturated() const { return saturated_; }
+
+  // acc += a*b  (one MAC). Returns *this for chaining.
+  Accumulator48& mac(Fixed16 a, Fixed16 b) {
+    return add(Fixed16::multiply(a, b));
+  }
+
+  // acc += addend (e.g. merging a primitive's psum with oMemory contents).
+  Accumulator48& add(std::int64_t addend) {
+    const std::int64_t next = value_ + addend;  // |value_| ≤ 2^47, no UB
+    if (next > kMax || next < kMin) {
+      saturated_ = true;
+      value_ = next > kMax ? kMax : kMin;
+    } else {
+      value_ = next;
+    }
+    return *this;
+  }
+
+  Accumulator48& add(const Accumulator48& other) {
+    add(other.value_);
+    saturated_ = saturated_ || other.saturated_;
+    return *this;
+  }
+
+  // Narrows the accumulator (2*frac_bits fraction) back to a 16-bit value
+  // with `fmt.frac_bits` fraction bits — the write-back requantization.
+  [[nodiscard]] std::int16_t narrow(FixedFormat operand_fmt,
+                                    FixedFormat out_fmt, Rounding rounding,
+                                    Overflow overflow,
+                                    NarrowingStats* stats = nullptr) const;
+
+  friend constexpr bool operator==(const Accumulator48&,
+                                   const Accumulator48&) = default;
+
+ private:
+  static constexpr std::int64_t clamp(std::int64_t v) {
+    return v > kMax ? kMax : (v < kMin ? kMin : v);
+  }
+
+  std::int64_t value_ = 0;
+  bool saturated_ = false;
+};
+
+// Shifts `v` right by `shift` bits with the selected rounding. `shift` may
+// be negative (left shift, exact).
+[[nodiscard]] std::int64_t shift_right_rounded(std::int64_t v, int shift,
+                                               Rounding rounding);
+
+// Narrows a wide accumulator value carrying `acc_frac_bits` fraction bits
+// into a 16-bit word with `out_fmt.frac_bits` fraction bits. This is the
+// general write-back requantization (ifmap and kernel formats may differ,
+// so the accumulator fraction count is their sum).
+[[nodiscard]] std::int16_t narrow_to_fixed16(std::int64_t acc,
+                                             int acc_frac_bits,
+                                             FixedFormat out_fmt,
+                                             Rounding rounding,
+                                             Overflow overflow,
+                                             NarrowingStats* stats = nullptr);
+
+}  // namespace chainnn::fixed

@@ -1,0 +1,70 @@
+#include "fixed/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace chainnn::fixed {
+
+FixedFormat choose_format(std::span<const float> values,
+                          FormatPolicy policy) {
+  if (policy == FormatPolicy::kFixedQ8_8) return FixedFormat{8};
+
+  double max_abs = 0.0;
+  for (float v : values) max_abs = std::max(max_abs, std::fabs(double{v}));
+  if (max_abs == 0.0) return FixedFormat{15};
+
+  // Find the largest frac_bits in [0, 15] whose max representable value
+  // covers max_abs.
+  for (int frac = 15; frac >= 0; --frac) {
+    const FixedFormat fmt{frac};
+    if (max_abs <= fmt.max_value()) return fmt;
+  }
+  return FixedFormat{0};  // values exceed Q15.0 range; saturation will apply
+}
+
+QuantizedTensor quantize(std::span<const float> values, FixedFormat fmt,
+                         Rounding rounding) {
+  QuantizedTensor out;
+  out.format = fmt;
+  out.raw.reserve(values.size());
+  for (float v : values)
+    out.raw.push_back(quantize_scalar(double{v}, fmt, rounding,
+                                      Overflow::kSaturate, &out.stats));
+  return out;
+}
+
+QuantizedTensor quantize_auto(std::span<const float> values,
+                              FormatPolicy policy, Rounding rounding) {
+  return quantize(values, choose_format(values, policy), rounding);
+}
+
+std::vector<double> dequantize(std::span<const std::int16_t> raw,
+                               FixedFormat fmt) {
+  std::vector<double> out;
+  out.reserve(raw.size());
+  for (std::int16_t r : raw)
+    out.push_back(static_cast<double>(r) / fmt.scale());
+  return out;
+}
+
+double sqnr_db(std::span<const float> reference,
+               std::span<const std::int16_t> raw, FixedFormat fmt) {
+  CHAINNN_CHECK(reference.size() == raw.size());
+  double signal = 0.0;
+  double noise = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double ref = double{reference[i]};
+    const double got = static_cast<double>(raw[i]) / fmt.scale();
+    signal += ref * ref;
+    const double e = ref - got;
+    noise += e * e;
+  }
+  if (noise == 0.0) return std::numeric_limits<double>::infinity();
+  if (signal == 0.0) return -std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(signal / noise);
+}
+
+}  // namespace chainnn::fixed

@@ -1,0 +1,53 @@
+// Float→fixed conversion policy — the C++ equivalent of the paper's
+// "float-point-to-fix-point simulator ... integrated with MatConvnet"
+// (§V.A). Given a tensor of floats it picks a Q-format from the dynamic
+// range, converts, and reports the quantization error statistics used to
+// validate that 16 bits suffice.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fixed/fixed16.hpp"
+
+namespace chainnn::fixed {
+
+// How the fraction-bit count is chosen.
+enum class FormatPolicy {
+  kMaxAbs,     // largest frac_bits such that max|x| still fits (default)
+  kFixedQ8_8,  // always Q8.8 (frac_bits=8) — simple hardware-wide format
+};
+
+struct QuantizedTensor {
+  std::vector<std::int16_t> raw;
+  FixedFormat format;
+  NarrowingStats stats;
+};
+
+// Chooses a format for `values` under `policy`. With kMaxAbs, an all-zero
+// input gets the maximum precision format (frac_bits = 15).
+[[nodiscard]] FixedFormat choose_format(std::span<const float> values,
+                                        FormatPolicy policy);
+
+// Quantizes `values` into 16-bit raw words under `fmt`.
+[[nodiscard]] QuantizedTensor quantize(std::span<const float> values,
+                                       FixedFormat fmt,
+                                       Rounding rounding = Rounding::kNearestEven);
+
+// Convenience: choose_format + quantize.
+[[nodiscard]] QuantizedTensor quantize_auto(
+    std::span<const float> values, FormatPolicy policy = FormatPolicy::kMaxAbs,
+    Rounding rounding = Rounding::kNearestEven);
+
+// Reconstructs doubles from raw words (for error measurement / display).
+[[nodiscard]] std::vector<double> dequantize(std::span<const std::int16_t> raw,
+                                             FixedFormat fmt);
+
+// Signal-to-quantization-noise ratio in dB between `reference` and the
+// dequantized `raw`; +inf if the error is exactly zero.
+[[nodiscard]] double sqnr_db(std::span<const float> reference,
+                             std::span<const std::int16_t> raw,
+                             FixedFormat fmt);
+
+}  // namespace chainnn::fixed

@@ -1,0 +1,42 @@
+#include "mem/dram.hpp"
+
+namespace chainnn::mem {
+
+const char* operand_name(Operand op) {
+  switch (op) {
+    case Operand::kIfmap: return "ifmap";
+    case Operand::kKernel: return "kernel";
+    case Operand::kOfmap: return "ofmap";
+    case Operand::kPsum: return "psum";
+  }
+  return "?";
+}
+
+std::uint64_t DramStats::total_read_bytes() const {
+  std::uint64_t t = 0;
+  for (std::uint64_t b : read_bytes) t += b;
+  return t;
+}
+
+std::uint64_t DramStats::total_write_bytes() const {
+  std::uint64_t t = 0;
+  for (std::uint64_t b : write_bytes) t += b;
+  return t;
+}
+
+void DramStats::merge(const DramStats& o) {
+  for (int i = 0; i < 4; ++i) {
+    read_bytes[i] += o.read_bytes[i];
+    write_bytes[i] += o.write_bytes[i];
+  }
+}
+
+void DramModel::read_bytes(Operand op, std::uint64_t bytes) {
+  stats_.read_bytes[static_cast<int>(op)] += bytes;
+}
+
+void DramModel::write_bytes(Operand op, std::uint64_t bytes) {
+  stats_.write_bytes[static_cast<int>(op)] += bytes;
+}
+
+}  // namespace chainnn::mem

@@ -1,0 +1,46 @@
+// Off-chip DRAM model: traffic counting per operand class.
+//
+// The paper excludes DRAM energy from the chip power figure but reports
+// DRAM traffic in Table IV; we count it per operand so the table can be
+// reproduced and so an optional DRAM-energy line can be shown.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace chainnn::mem {
+
+enum class Operand { kIfmap, kKernel, kOfmap, kPsum };
+
+[[nodiscard]] const char* operand_name(Operand op);
+
+struct DramStats {
+  std::uint64_t read_bytes[4] = {};   // indexed by Operand
+  std::uint64_t write_bytes[4] = {};
+
+  [[nodiscard]] std::uint64_t total_read_bytes() const;
+  [[nodiscard]] std::uint64_t total_write_bytes() const;
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return total_read_bytes() + total_write_bytes();
+  }
+  void merge(const DramStats& o);
+};
+
+class DramModel {
+ public:
+  explicit DramModel(std::string name = "DRAM") : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  void read_bytes(Operand op, std::uint64_t bytes);
+  void write_bytes(Operand op, std::uint64_t bytes);
+
+  [[nodiscard]] const DramStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  std::string name_;
+  DramStats stats_;
+};
+
+}  // namespace chainnn::mem

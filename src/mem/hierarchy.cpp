@@ -1,0 +1,44 @@
+#include "mem/hierarchy.hpp"
+
+namespace chainnn::mem {
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& cfg)
+    : cfg_(cfg),
+      imemory_("iMemory", cfg.imemory_bytes, cfg.word_bytes),
+      omemory_("oMemory", cfg.omemory_bytes, cfg.word_bytes),
+      kmemory_("kMemory", cfg.kmemory_bytes, cfg.word_bytes),
+      dram_("DRAM") {}
+
+void MemoryHierarchy::reset_stats() {
+  imemory_.reset_stats();
+  omemory_.reset_stats();
+  kmemory_.reset_stats();
+  dram_.reset_stats();
+}
+
+HierarchySnapshot snapshot(const MemoryHierarchy& h) {
+  return HierarchySnapshot{h.imemory().stats(), h.omemory().stats(),
+                           h.kmemory().stats(), h.dram().stats()};
+}
+
+namespace {
+
+std::uint64_t delta_bytes(const SramStats& now, const SramStats& before) {
+  return now.total_bytes() - before.total_bytes();
+}
+
+}  // namespace
+
+LayerTraffic traffic_since(const MemoryHierarchy& h,
+                           const HierarchySnapshot& before,
+                           const std::string& layer_name) {
+  LayerTraffic t;
+  t.layer_name = layer_name;
+  t.imemory_bytes = delta_bytes(h.imemory().stats(), before.imem);
+  t.omemory_bytes = delta_bytes(h.omemory().stats(), before.omem);
+  t.kmemory_bytes = delta_bytes(h.kmemory().stats(), before.kmem);
+  t.dram_bytes = h.dram().stats().total_bytes() - before.dram.total_bytes();
+  return t;
+}
+
+}  // namespace chainnn::mem

@@ -1,0 +1,46 @@
+#include "mem/sram.hpp"
+
+#include "common/check.hpp"
+
+namespace chainnn::mem {
+
+SramModel::SramModel(std::string name, std::uint64_t size_bytes,
+                     std::uint64_t word_bytes)
+    : name_(std::move(name)),
+      size_bytes_(size_bytes),
+      word_bytes_(word_bytes) {
+  CHAINNN_CHECK(size_bytes_ > 0);
+  CHAINNN_CHECK(word_bytes_ > 0);
+}
+
+void SramModel::reserve(std::uint64_t bytes) {
+  CHAINNN_CHECK_MSG(reserved_ + bytes <= size_bytes_,
+                    name_ << ": reserve " << bytes << "B over capacity ("
+                          << reserved_ << "/" << size_bytes_ << " used)");
+  reserved_ += bytes;
+}
+
+void SramModel::release(std::uint64_t bytes) {
+  CHAINNN_CHECK_MSG(bytes <= reserved_,
+                    name_ << ": release " << bytes << "B but only "
+                          << reserved_ << "B reserved");
+  reserved_ -= bytes;
+}
+
+void SramModel::read_words(std::uint64_t words) {
+  stats_.reads += words;
+  stats_.read_bytes += words * word_bytes_;
+}
+
+void SramModel::write_words(std::uint64_t words) {
+  stats_.writes += words;
+  stats_.write_bytes += words * word_bytes_;
+}
+
+double SramModel::activity_factor(std::uint64_t cycles) const {
+  if (cycles == 0) return 0.0;
+  return static_cast<double>(stats_.reads + stats_.writes) /
+         static_cast<double>(cycles);
+}
+
+}  // namespace chainnn::mem

@@ -1,0 +1,73 @@
+// On-chip SRAM model: capacity bookkeeping and access counting.
+//
+// The Chain-NN hierarchy (§IV.D / §V.B) uses three on-chip memories:
+//   iMemory  32 KB  — ifmap strip buffer feeding the dual channels
+//   oMemory  25 KB  — partial-sum / ofmap tile buffer
+//   kMemory 295 KB  — per-PE register files holding stationary kernels
+//
+// This model counts accesses (per word) and enforces capacity when a
+// client reserves space; energy is attached later by the energy module so
+// the same traffic numbers can be priced under different technologies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace chainnn::mem {
+
+struct SramStats {
+  std::uint64_t reads = 0;        // word reads
+  std::uint64_t writes = 0;       // word writes
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_bytes = 0;
+
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return read_bytes + write_bytes;
+  }
+  void merge(const SramStats& o) {
+    reads += o.reads;
+    writes += o.writes;
+    read_bytes += o.read_bytes;
+    write_bytes += o.write_bytes;
+  }
+};
+
+class SramModel {
+ public:
+  // `word_bytes` is the access granularity (2 for 16-bit datapath words).
+  SramModel(std::string name, std::uint64_t size_bytes,
+            std::uint64_t word_bytes = 2);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint64_t size_bytes() const { return size_bytes_; }
+  [[nodiscard]] std::uint64_t word_bytes() const { return word_bytes_; }
+
+  // Reserves `bytes` of capacity for a tile; throws if it does not fit.
+  // Reservations model allocation decisions made by the tiler, so a
+  // schedule that would overflow the physical SRAM fails loudly.
+  void reserve(std::uint64_t bytes);
+  void release(std::uint64_t bytes);
+  [[nodiscard]] std::uint64_t reserved_bytes() const { return reserved_; }
+  [[nodiscard]] std::uint64_t free_bytes() const {
+    return size_bytes_ - reserved_;
+  }
+
+  void read_words(std::uint64_t words);
+  void write_words(std::uint64_t words);
+
+  [[nodiscard]] const SramStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  // Average accesses per cycle over `cycles` (the "activity factor" the
+  // paper quotes for kMemory, §V.C).
+  [[nodiscard]] double activity_factor(std::uint64_t cycles) const;
+
+ private:
+  std::string name_;
+  std::uint64_t size_bytes_;
+  std::uint64_t word_bytes_;
+  std::uint64_t reserved_ = 0;
+  SramStats stats_;
+};
+
+}  // namespace chainnn::mem

@@ -1,0 +1,132 @@
+#include "nn/golden.hpp"
+
+#include "common/check.hpp"
+
+namespace chainnn::nn {
+
+namespace {
+
+// Shared loop nest for direct convolution. Visits every (n, m, oy, ox)
+// output site and every (c, ky, kx) tap inside it, skipping padding taps.
+// `Body(n, m, oy, ox, group_c, ky, kx, iy, ix)` accumulates one tap;
+// group_c is the within-group input channel, iy/ix the ifmap coordinates.
+template <typename PerOutput>
+void for_each_output(const ConvLayerParams& p, PerOutput&& per_output) {
+  for (std::int64_t n = 0; n < p.batch; ++n)
+    for (std::int64_t m = 0; m < p.out_channels; ++m)
+      for (std::int64_t oy = 0; oy < p.out_height(); ++oy)
+        for (std::int64_t ox = 0; ox < p.out_width(); ++ox)
+          per_output(n, m, oy, ox);
+}
+
+}  // namespace
+
+Tensor<float> conv2d_float(const ConvLayerParams& p,
+                           const Tensor<float>& ifmaps,
+                           const Tensor<float>& kernels,
+                           const Tensor<float>* bias) {
+  p.validate();
+  CHAINNN_CHECK(ifmaps.shape() ==
+                Shape({p.batch, p.in_channels, p.in_height, p.in_width}));
+  CHAINNN_CHECK(kernels.shape() == Shape({p.out_channels,
+                                          p.channels_per_group(), p.kernel,
+                                          p.kernel}));
+  if (bias) CHAINNN_CHECK(bias->shape() == Shape({p.out_channels}));
+
+  Tensor<float> out(Shape{p.batch, p.out_channels, p.out_height(),
+                          p.out_width()});
+  const std::int64_t cg = p.channels_per_group();
+  const std::int64_t m_per_g = p.out_channels_per_group();
+
+  for_each_output(p, [&](std::int64_t n, std::int64_t m, std::int64_t oy,
+                         std::int64_t ox) {
+    const std::int64_t g = m / m_per_g;
+    double acc = bias ? double{bias->at_flat(m)} : 0.0;
+    for (std::int64_t c = 0; c < cg; ++c) {
+      const std::int64_t ic = g * cg + c;
+      for (std::int64_t ky = 0; ky < p.kernel; ++ky) {
+        const std::int64_t iy = oy * p.stride + ky - p.pad;
+        if (iy < 0 || iy >= p.in_height) continue;
+        for (std::int64_t kx = 0; kx < p.kernel; ++kx) {
+          const std::int64_t ix = ox * p.stride + kx - p.pad;
+          if (ix < 0 || ix >= p.in_width) continue;
+          acc += double{ifmaps.at(n, ic, iy, ix)} *
+                 double{kernels.at(m, c, ky, kx)};
+        }
+      }
+    }
+    out.at(n, m, oy, ox) = static_cast<float>(acc);
+  });
+  return out;
+}
+
+Tensor<std::int64_t> conv2d_fixed_accum(const ConvLayerParams& p,
+                                        const Tensor<std::int16_t>& ifmaps,
+                                        const Tensor<std::int16_t>& kernels) {
+  p.validate();
+  CHAINNN_CHECK(ifmaps.shape() ==
+                Shape({p.batch, p.in_channels, p.in_height, p.in_width}));
+  CHAINNN_CHECK(kernels.shape() == Shape({p.out_channels,
+                                          p.channels_per_group(), p.kernel,
+                                          p.kernel}));
+
+  Tensor<std::int64_t> out(Shape{p.batch, p.out_channels, p.out_height(),
+                                 p.out_width()});
+  const std::int64_t cg = p.channels_per_group();
+  const std::int64_t m_per_g = p.out_channels_per_group();
+
+  for_each_output(p, [&](std::int64_t n, std::int64_t m, std::int64_t oy,
+                         std::int64_t ox) {
+    const std::int64_t g = m / m_per_g;
+    fixed::Accumulator48 acc;
+    for (std::int64_t c = 0; c < cg; ++c) {
+      const std::int64_t ic = g * cg + c;
+      for (std::int64_t ky = 0; ky < p.kernel; ++ky) {
+        const std::int64_t iy = oy * p.stride + ky - p.pad;
+        if (iy < 0 || iy >= p.in_height) continue;
+        for (std::int64_t kx = 0; kx < p.kernel; ++kx) {
+          const std::int64_t ix = ox * p.stride + kx - p.pad;
+          if (ix < 0 || ix >= p.in_width) continue;
+          acc.mac(fixed::Fixed16(ifmaps.at(n, ic, iy, ix)),
+                  fixed::Fixed16(kernels.at(m, c, ky, kx)));
+        }
+      }
+    }
+    out.at(n, m, oy, ox) = acc.value();
+  });
+  return out;
+}
+
+FixedConvResult conv2d_fixed(const ConvLayerParams& p,
+                             const Tensor<std::int16_t>& ifmaps,
+                             const Tensor<std::int16_t>& kernels,
+                             fixed::FixedFormat ifmap_fmt,
+                             fixed::FixedFormat kernel_fmt,
+                             fixed::FixedFormat out_fmt,
+                             const Tensor<std::int16_t>* bias,
+                             fixed::Rounding rounding) {
+  FixedConvResult res;
+  res.accumulators = conv2d_fixed_accum(p, ifmaps, kernels);
+  if (bias) CHAINNN_CHECK(bias->shape() == Shape({p.out_channels}));
+
+  const int acc_frac = ifmap_fmt.frac_bits + kernel_fmt.frac_bits;
+  res.ofmaps = Tensor<std::int16_t>(res.accumulators.shape());
+  const std::int64_t plane = p.out_height() * p.out_width();
+  for (std::int64_t i = 0; i < res.accumulators.num_elements(); ++i) {
+    std::int64_t acc = res.accumulators.at_flat(i);
+    if (bias) {
+      // Bias is stored in out_fmt; align it to the accumulator's fraction
+      // count before narrowing, as a bias pre-load in oMemory would be.
+      const std::int64_t m = (i / plane) % p.out_channels;
+      const int align = acc_frac - out_fmt.frac_bits;
+      acc += fixed::shift_right_rounded(
+          static_cast<std::int64_t>(bias->at_flat(m)), -align, rounding);
+    }
+    res.ofmaps.at_flat(i) = fixed::narrow_to_fixed16(
+        acc, acc_frac, out_fmt, rounding, fixed::Overflow::kSaturate,
+        &res.narrowing);
+  }
+  return res;
+}
+
+}  // namespace chainnn::nn

@@ -1,0 +1,57 @@
+// Golden-model convolutions the hardware simulator is verified against.
+//
+// Two references:
+//   * a float direct convolution (Equation (1) of the paper), and
+//   * a fixed-point direct convolution that performs exactly the
+//     arithmetic the Chain-NN datapath performs: int16 operands, exact
+//     int32 products, 48-bit saturating accumulation, requantization on
+//     write-back. The cycle simulator must match this one bit-exactly.
+//
+// Layouts: ifmaps are {N, C, H, W}; kernels are {M, C/groups, K, K};
+// ofmaps are {N, M, E_h, E_w}; biases are {M} (optional).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "fixed/fixed16.hpp"
+#include "nn/conv_params.hpp"
+#include "tensor/tensor.hpp"
+
+namespace chainnn::nn {
+
+// Direct float convolution. `bias` may be empty (treated as zero).
+[[nodiscard]] Tensor<float> conv2d_float(const ConvLayerParams& p,
+                                         const Tensor<float>& ifmaps,
+                                         const Tensor<float>& kernels,
+                                         const Tensor<float>* bias = nullptr);
+
+// Result of the fixed-point reference: wide accumulators before
+// requantization (what the psum chain + oMemory hold) and the narrowed
+// 16-bit ofmaps (what is written back for the next layer).
+struct FixedConvResult {
+  Tensor<std::int64_t> accumulators;  // {N, M, E_h, E_w}
+  Tensor<std::int16_t> ofmaps;        // {N, M, E_h, E_w}
+  fixed::NarrowingStats narrowing;
+};
+
+// Direct fixed-point convolution with the Chain-NN datapath semantics.
+// `ifmap_fmt`/`kernel_fmt` give the operand Q-formats (used only for the
+// requantization shift; the accumulation itself is exact); `out_fmt` is
+// the ofmap format. Bias raw values, if given, are in out_fmt and added
+// after requantization shift alignment (i.e. bias << (2f_in - f_out)
+// before narrowing), matching a pre-accumulated bias in oMemory.
+[[nodiscard]] FixedConvResult conv2d_fixed(
+    const ConvLayerParams& p, const Tensor<std::int16_t>& ifmaps,
+    const Tensor<std::int16_t>& kernels, fixed::FixedFormat ifmap_fmt,
+    fixed::FixedFormat kernel_fmt, fixed::FixedFormat out_fmt,
+    const Tensor<std::int16_t>* bias = nullptr,
+    fixed::Rounding rounding = fixed::Rounding::kNearestEven);
+
+// Computes only the wide accumulators (no requantization); useful for
+// bit-exact comparison against the cycle simulator's psum outputs.
+[[nodiscard]] Tensor<std::int64_t> conv2d_fixed_accum(
+    const ConvLayerParams& p, const Tensor<std::int16_t>& ifmaps,
+    const Tensor<std::int16_t>& kernels);
+
+}  // namespace chainnn::nn

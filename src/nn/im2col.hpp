@@ -1,0 +1,26 @@
+// im2col + matrix-multiply convolution — an independent second reference
+// implementation used by the tests to cross-check the direct golden model
+// (two references that agree make a much stronger oracle for the cycle
+// simulator).
+#pragma once
+
+#include <cstdint>
+
+#include "nn/conv_params.hpp"
+#include "tensor/tensor.hpp"
+
+namespace chainnn::nn {
+
+// Unfolds one image (and one group) of the ifmaps into a
+// {C/g*K*K, E_h*E_w} patch matrix. Padding positions are zero-filled.
+[[nodiscard]] Tensor<float> im2col_image(const ConvLayerParams& p,
+                                         const Tensor<float>& ifmaps,
+                                         std::int64_t n, std::int64_t group);
+
+// Full conv via im2col + GEMM; output layout matches conv2d_float.
+[[nodiscard]] Tensor<float> conv2d_im2col(const ConvLayerParams& p,
+                                          const Tensor<float>& ifmaps,
+                                          const Tensor<float>& kernels,
+                                          const Tensor<float>* bias = nullptr);
+
+}  // namespace chainnn::nn

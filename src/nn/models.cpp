@@ -1,0 +1,101 @@
+#include "nn/models.hpp"
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace chainnn::nn {
+
+namespace {
+
+ConvLayerParams layer(std::string name, std::int64_t c, std::int64_t m,
+                      std::int64_t hw, std::int64_t k, std::int64_t stride,
+                      std::int64_t pad, std::int64_t groups) {
+  ConvLayerParams p;
+  p.name = std::move(name);
+  p.in_channels = c;
+  p.out_channels = m;
+  p.in_height = hw;
+  p.in_width = hw;
+  p.kernel = k;
+  p.stride = stride;
+  p.pad = pad;
+  p.groups = groups;
+  p.validate();
+  return p;
+}
+
+}  // namespace
+
+NetworkModel alexnet() {
+  NetworkModel net;
+  net.name = "alexnet";
+  net.conv_layers = {
+      layer("conv1", 3, 96, 227, 11, 4, 0, 1),
+      layer("conv2", 96, 256, 27, 5, 1, 2, 2),
+      layer("conv3", 256, 384, 13, 3, 1, 1, 1),
+      layer("conv4", 384, 384, 13, 3, 1, 1, 2),
+      layer("conv5", 384, 256, 13, 3, 1, 1, 2),
+  };
+  return net;
+}
+
+NetworkModel vgg16() {
+  NetworkModel net;
+  net.name = "vgg16";
+  net.conv_layers = {
+      layer("conv1_1", 3, 64, 224, 3, 1, 1, 1),
+      layer("conv1_2", 64, 64, 224, 3, 1, 1, 1),
+      layer("conv2_1", 64, 128, 112, 3, 1, 1, 1),
+      layer("conv2_2", 128, 128, 112, 3, 1, 1, 1),
+      layer("conv3_1", 128, 256, 56, 3, 1, 1, 1),
+      layer("conv3_2", 256, 256, 56, 3, 1, 1, 1),
+      layer("conv3_3", 256, 256, 56, 3, 1, 1, 1),
+      layer("conv4_1", 256, 512, 28, 3, 1, 1, 1),
+      layer("conv4_2", 512, 512, 28, 3, 1, 1, 1),
+      layer("conv4_3", 512, 512, 28, 3, 1, 1, 1),
+      layer("conv5_1", 512, 512, 14, 3, 1, 1, 1),
+      layer("conv5_2", 512, 512, 14, 3, 1, 1, 1),
+      layer("conv5_3", 512, 512, 14, 3, 1, 1, 1),
+  };
+  return net;
+}
+
+NetworkModel lenet_mnist() {
+  NetworkModel net;
+  net.name = "lenet";
+  net.conv_layers = {
+      layer("conv1", 1, 20, 28, 5, 1, 0, 1),
+      layer("conv2", 20, 50, 12, 5, 1, 0, 1),
+      layer("conv3", 50, 500, 4, 4, 1, 0, 1),
+      layer("conv4", 500, 10, 1, 1, 1, 0, 1),
+  };
+  return net;
+}
+
+NetworkModel cifar10_quick() {
+  NetworkModel net;
+  net.name = "cifar10";
+  net.conv_layers = {
+      layer("conv1", 3, 32, 32, 5, 1, 2, 1),
+      layer("conv2", 32, 32, 16, 5, 1, 2, 1),
+      layer("conv3", 32, 64, 8, 5, 1, 2, 1),
+  };
+  return net;
+}
+
+std::vector<NetworkModel> model_zoo() {
+  return {lenet_mnist(), cifar10_quick(), alexnet(), vgg16()};
+}
+
+NetworkModel model_by_name(const std::string& name) {
+  if (name == "alexnet") return alexnet();
+  if (name == "vgg16") return vgg16();
+  if (name == "lenet" || name == "mnist") return lenet_mnist();
+  if (name == "cifar10" || name == "cifar") return cifar10_quick();
+  CHAINNN_CHECK_MSG(false, "unknown model '"
+                               << name
+                               << "'; valid: alexnet vgg16 lenet cifar10");
+  return {};  // unreachable
+}
+
+}  // namespace chainnn::nn

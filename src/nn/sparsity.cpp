@@ -1,0 +1,65 @@
+#include "nn/sparsity.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace chainnn::nn {
+
+ZeroMacStats count_zero_macs(const ConvLayerParams& p,
+                             const Tensor<std::int16_t>& ifmaps,
+                             const Tensor<std::int16_t>& kernels) {
+  p.validate();
+  CHAINNN_CHECK(ifmaps.shape() ==
+                Shape({p.batch, p.in_channels, p.in_height, p.in_width}));
+  CHAINNN_CHECK(kernels.shape() == Shape({p.out_channels,
+                                          p.channels_per_group(), p.kernel,
+                                          p.kernel}));
+  ZeroMacStats s;
+  const std::int64_t cg = p.channels_per_group();
+  const std::int64_t m_per_g = p.out_channels_per_group();
+  for (std::int64_t n = 0; n < p.batch; ++n) {
+    for (std::int64_t m = 0; m < p.out_channels; ++m) {
+      const std::int64_t g = m / m_per_g;
+      for (std::int64_t oy = 0; oy < p.out_height(); ++oy) {
+        for (std::int64_t ox = 0; ox < p.out_width(); ++ox) {
+          for (std::int64_t c = 0; c < cg; ++c) {
+            for (std::int64_t ky = 0; ky < p.kernel; ++ky) {
+              const std::int64_t iy = oy * p.stride + ky - p.pad;
+              if (iy < 0 || iy >= p.in_height) continue;
+              for (std::int64_t kx = 0; kx < p.kernel; ++kx) {
+                const std::int64_t ix = ox * p.stride + kx - p.pad;
+                if (ix < 0 || ix >= p.in_width) continue;
+                const bool xz = ifmaps.at(n, g * cg + c, iy, ix) == 0;
+                const bool wz = kernels.at(m, c, ky, kx) == 0;
+                ++s.total_macs;
+                if (xz) ++s.zero_ifmap_macs;
+                if (wz) ++s.zero_kernel_macs;
+                if (xz || wz) ++s.zero_macs;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return s;
+}
+
+double zero_element_fraction(const Tensor<std::int16_t>& t) {
+  if (t.num_elements() == 0) return 0.0;
+  std::int64_t zeros = 0;
+  for (const std::int16_t v : t.data())
+    if (v == 0) ++zeros;
+  return static_cast<double>(zeros) /
+         static_cast<double>(t.num_elements());
+}
+
+void inject_sparsity(Tensor<std::int16_t>& t, double target_fraction,
+                     std::uint64_t seed) {
+  CHAINNN_CHECK(target_fraction >= 0.0 && target_fraction <= 1.0);
+  Rng rng(seed);
+  for (std::int16_t& v : t.mutable_data())
+    if (rng.next_double() < target_fraction) v = 0;
+}
+
+}  // namespace chainnn::nn

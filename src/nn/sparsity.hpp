@@ -1,0 +1,46 @@
+// Operand-sparsity analysis for zero-gating studies.
+//
+// The paper's related work ([13] Cnvlutin, [14] EIE) exploits zero
+// operands; Chain-NN itself does not, but because ReLU feeds every conv
+// layer after the first, a large share of its MACs have a zero ifmap
+// operand. These helpers count them exactly so the energy model can
+// quantify what per-PE zero-gating (multiplier operand isolation) would
+// save — an ablation of the paper's design space.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/conv_params.hpp"
+#include "tensor/tensor.hpp"
+
+namespace chainnn::nn {
+
+struct ZeroMacStats {
+  std::int64_t total_macs = 0;       // real MACs (padding taps excluded)
+  std::int64_t zero_ifmap_macs = 0;  // ifmap operand == 0
+  std::int64_t zero_kernel_macs = 0; // kernel operand == 0
+  std::int64_t zero_macs = 0;        // either operand == 0
+
+  [[nodiscard]] double zero_fraction() const {
+    return total_macs == 0
+               ? 0.0
+               : static_cast<double>(zero_macs) /
+                     static_cast<double>(total_macs);
+  }
+};
+
+// Exact zero-operand MAC count for one layer (the chain performs exactly
+// these MACs — verified bit-exact — so this is the hardware's count).
+[[nodiscard]] ZeroMacStats count_zero_macs(const ConvLayerParams& p,
+                                           const Tensor<std::int16_t>& ifmaps,
+                                           const Tensor<std::int16_t>& kernels);
+
+// Fraction of zero elements in a tensor.
+[[nodiscard]] double zero_element_fraction(const Tensor<std::int16_t>& t);
+
+// Zeroes a deterministic pseudo-random subset of elements so studies can
+// sweep activation sparsity levels.
+void inject_sparsity(Tensor<std::int16_t>& t, double target_fraction,
+                     std::uint64_t seed);
+
+}  // namespace chainnn::nn

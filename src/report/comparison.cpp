@@ -1,0 +1,48 @@
+#include "report/comparison.hpp"
+
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace chainnn::report {
+
+ComparisonTable::ComparisonTable(std::string title, std::string value_label)
+    : title_(std::move(title)), value_label_(std::move(value_label)) {}
+
+void ComparisonTable::add(const std::string& item, double paper,
+                          double measured) {
+  rows_.push_back(Row{item, true, paper, measured});
+}
+
+void ComparisonTable::add_measured_only(const std::string& item,
+                                        double measured) {
+  rows_.push_back(Row{item, false, 0.0, measured});
+}
+
+std::string ComparisonTable::render() const {
+  TextTable t(title_);
+  t.set_header({"item", "paper " + value_label_, "measured " + value_label_,
+                "measured/paper"});
+  for (const Row& r : rows_) {
+    if (r.has_paper) {
+      const double ratio = r.paper == 0.0 ? 0.0 : r.measured / r.paper;
+      t.add_row({r.item, strings::fmt_fixed(r.paper, 2),
+                 strings::fmt_fixed(r.measured, 2),
+                 strings::fmt_fixed(ratio, 3)});
+    } else {
+      t.add_row({r.item, "-", strings::fmt_fixed(r.measured, 2), "-"});
+    }
+  }
+  return t.to_ascii();
+}
+
+double ComparisonTable::worst_relative_error() const {
+  double worst = 0.0;
+  for (const Row& r : rows_) {
+    if (!r.has_paper || r.paper == 0.0) continue;
+    worst = std::max(worst, std::fabs(r.measured / r.paper - 1.0));
+  }
+  return worst;
+}
+
+}  // namespace chainnn::report

@@ -1,0 +1,4 @@
+// Intentionally empty: paper_constants.hpp is all constexpr data. The TU
+// exists so the target has a stable archive even if future constants need
+// out-of-line definitions.
+#include "report/paper_constants.hpp"

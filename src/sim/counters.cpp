@@ -1,0 +1,31 @@
+#include "sim/counters.hpp"
+
+#include "common/check.hpp"
+
+namespace chainnn::sim {
+
+Counters::Handle Counters::handle(const std::string& name) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) return Handle(it->second);
+  const std::size_t i = values_.size();
+  values_.push_back(0);
+  index_.emplace(name, i);
+  return Handle(i);
+}
+
+std::uint64_t Counters::get(const std::string& name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? 0 : values_[it->second];
+}
+
+std::map<std::string, std::uint64_t> Counters::snapshot() const {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, i] : index_) out[name] = values_[i];
+  return out;
+}
+
+void Counters::reset() {
+  for (auto& v : values_) v = 0;
+}
+
+}  // namespace chainnn::sim

@@ -1,0 +1,45 @@
+// Named statistic counters for simulators and memory models.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace chainnn::sim {
+
+// A bag of named monotonic counters. Lookup by name is only done when a
+// counter handle is created; incrementing a handle is a plain add, so the
+// simulation inner loop stays cheap.
+class Counters {
+ public:
+  // Stable handle to a counter (index into the value array).
+  class Handle {
+   public:
+    Handle() = default;
+
+   private:
+    friend class Counters;
+    explicit Handle(std::size_t i) : index_(i) {}
+    std::size_t index_ = 0;
+  };
+
+  // Returns (creating if needed) the handle for `name`.
+  Handle handle(const std::string& name);
+
+  void add(Handle h, std::uint64_t delta = 1) { values_[h.index_] += delta; }
+
+  [[nodiscard]] std::uint64_t get(const std::string& name) const;
+  [[nodiscard]] std::uint64_t get(Handle h) const { return values_[h.index_]; }
+
+  // Name -> value, sorted by name (for reports and tests).
+  [[nodiscard]] std::map<std::string, std::uint64_t> snapshot() const;
+
+  void reset();
+
+ private:
+  std::map<std::string, std::size_t> index_;
+  std::vector<std::uint64_t> values_;
+};
+
+}  // namespace chainnn::sim

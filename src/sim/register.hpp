@@ -1,0 +1,109 @@
+// Register primitives for two-phase (compute / commit) cycle simulation.
+//
+// The chain simulator models RTL registers explicitly: during a cycle all
+// next-state values are computed from current values ("compute" phase),
+// then all registers advance together ("commit" phase). That rules out
+// read-after-write races regardless of module evaluation order — the same
+// guarantee a synchronous netlist gives.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace chainnn::sim {
+
+// A single D-flip-flop-like register.
+template <typename T>
+class Register {
+ public:
+  Register() = default;
+  explicit Register(T reset) : cur_(reset), next_(reset) {}
+
+  // Value visible during the current cycle (Q output).
+  [[nodiscard]] const T& get() const { return cur_; }
+
+  // Schedules the value to appear after the next commit (D input).
+  void set_next(T v) { next_ = std::move(v); }
+
+  // By default a register holds its value; call set_next to change it.
+  void commit() { cur_ = next_; }
+
+  void reset(T v) {
+    cur_ = v;
+    next_ = v;
+  }
+
+ private:
+  T cur_{};
+  T next_{};
+};
+
+// A chain of registers with taps — models a shift-register channel
+// (e.g. the OddIF/EvenIF paths). Position 0 is the register closest to
+// the input; tap(i) reads the value delayed by (i+1) cycles.
+template <typename T>
+class ShiftChain {
+ public:
+  explicit ShiftChain(std::size_t length, T reset = T{})
+      : regs_(length, reset) {}
+
+  [[nodiscard]] std::size_t length() const { return regs_.size(); }
+
+  // Value after (i+1) register delays.
+  [[nodiscard]] const T& tap(std::size_t i) const {
+    CHAINNN_CHECK_MSG(i < regs_.size(), "tap " << i << " of "
+                                               << regs_.size());
+    return regs_[i];
+  }
+
+  // Shifts `in` into position 0; all stages advance one step. This is the
+  // combined compute+commit for the chain (it has no combinational
+  // feedback, so a single-phase shift is race-free as long as the caller
+  // samples taps before shifting).
+  void shift(T in) {
+    for (std::size_t i = regs_.size(); i-- > 1;)
+      regs_[i] = std::move(regs_[i - 1]);
+    if (!regs_.empty()) regs_[0] = std::move(in);
+  }
+
+  void reset(T v) {
+    for (auto& r : regs_) r = v;
+  }
+
+ private:
+  std::vector<T> regs_;
+};
+
+// Fixed-latency delay line: push one value per cycle, pop the value from
+// `latency` cycles ago. Latency 0 passes through.
+template <typename T>
+class DelayLine {
+ public:
+  explicit DelayLine(std::size_t latency, T reset = T{})
+      : buf_(latency == 0 ? 1 : latency, reset), latency_(latency) {}
+
+  [[nodiscard]] std::size_t latency() const { return latency_; }
+
+  // Advances one cycle: returns the value pushed `latency` cycles ago.
+  T step(T in) {
+    if (latency_ == 0) return in;
+    T out = std::move(buf_[head_]);
+    buf_[head_] = std::move(in);
+    head_ = (head_ + 1) % latency_;
+    return out;
+  }
+
+  void reset(T v) {
+    for (auto& b : buf_) b = v;
+    head_ = 0;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t latency_ = 0;
+  std::size_t head_ = 0;
+};
+
+}  // namespace chainnn::sim

@@ -1,0 +1,43 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace chainnn::sim {
+
+void Trace::record(std::uint64_t cycle, std::string source,
+                   std::string message) {
+  if (!enabled_) return;
+  TraceEvent ev{cycle, std::move(source), std::move(message)};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+    return;
+  }
+  ring_[next_] = std::move(ev);
+  next_ = (next_ + 1) % capacity_;
+  wrapped_ = true;
+}
+
+std::vector<TraceEvent> Trace::events() const {
+  if (!wrapped_) return ring_;
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  return out;
+}
+
+std::string Trace::to_string() const {
+  std::ostringstream os;
+  for (const TraceEvent& ev : events())
+    os << "[" << ev.cycle << "] " << ev.source << ": " << ev.message
+       << '\n';
+  return os.str();
+}
+
+void Trace::clear() {
+  ring_.clear();
+  next_ = 0;
+  wrapped_ = false;
+}
+
+}  // namespace chainnn::sim

@@ -1,0 +1,46 @@
+// Bounded event trace for debugging cycle simulations.
+//
+// Disabled traces cost one branch per event. Enabled traces keep the last
+// `capacity` events in a ring buffer (a full waveform dump of a 576-PE
+// chain over millions of cycles would be useless and enormous; the ring
+// keeps the window around a failure).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chainnn::sim {
+
+struct TraceEvent {
+  std::uint64_t cycle = 0;
+  std::string source;
+  std::string message;
+};
+
+class Trace {
+ public:
+  explicit Trace(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void enable(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(std::uint64_t cycle, std::string source, std::string message);
+
+  // Events in chronological order (oldest first).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  // Renders one line per event.
+  [[nodiscard]] std::string to_string() const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  bool enabled_ = false;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;   // insertion point when the ring is full
+  bool wrapped_ = false;
+};
+
+}  // namespace chainnn::sim

@@ -1,0 +1,100 @@
+#include "sim/vcd.hpp"
+
+#include <algorithm>
+#include <bitset>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace chainnn::sim {
+
+VcdWriter::VcdWriter(std::string timescale)
+    : timescale_(std::move(timescale)) {}
+
+std::string VcdWriter::code_for(std::int64_t index) {
+  // Printable identifier codes '!'..'~' in a base-94 positional scheme.
+  std::string code;
+  std::int64_t v = index;
+  do {
+    code.push_back(static_cast<char>('!' + v % 94));
+    v /= 94;
+  } while (v > 0);
+  return code;
+}
+
+std::int64_t VcdWriter::add_signal(const std::string& scope,
+                                   const std::string& name, int width) {
+  CHAINNN_CHECK_MSG(!sealed_, "declare all signals before change()");
+  CHAINNN_CHECK(width >= 1 && width <= 64);
+  Signal s;
+  s.scope = scope;
+  s.name = name;
+  s.width = width;
+  s.code = code_for(static_cast<std::int64_t>(signals_.size()));
+  signals_.push_back(std::move(s));
+  return static_cast<std::int64_t>(signals_.size()) - 1;
+}
+
+void VcdWriter::change(std::int64_t t, std::int64_t id, std::int64_t value) {
+  sealed_ = true;
+  CHAINNN_CHECK(id >= 0 &&
+                id < static_cast<std::int64_t>(signals_.size()));
+  Signal& s = signals_[static_cast<std::size_t>(id)];
+  if (s.has_value && s.last_value == value) return;
+  s.has_value = true;
+  s.last_value = value;
+  changes_.push_back(Change{t, id, value});
+}
+
+std::string VcdWriter::render() const {
+  std::ostringstream os;
+  os << "$date chain-nn simulation $end\n"
+     << "$version chain-nn vcd writer $end\n"
+     << "$timescale " << timescale_ << " $end\n";
+
+  // Group declarations by scope.
+  std::map<std::string, std::vector<const Signal*>> by_scope;
+  for (const Signal& s : signals_) by_scope[s.scope].push_back(&s);
+  for (const auto& [scope, sigs] : by_scope) {
+    os << "$scope module " << scope << " $end\n";
+    for (const Signal* s : sigs)
+      os << "$var wire " << s->width << " " << s->code << " " << s->name
+         << " $end\n";
+    os << "$upscope $end\n";
+  }
+  os << "$enddefinitions $end\n";
+
+  // Changes in time order (stable sort keeps declaration order at ties).
+  std::vector<Change> sorted = changes_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Change& a, const Change& b) {
+                     return a.time < b.time;
+                   });
+  std::int64_t current_time = -1;
+  for (const Change& c : sorted) {
+    if (c.time != current_time) {
+      os << '#' << c.time << '\n';
+      current_time = c.time;
+    }
+    const Signal& s = signals_[static_cast<std::size_t>(c.id)];
+    if (s.width == 1) {
+      os << (c.value & 1) << s.code << '\n';
+    } else {
+      os << 'b';
+      for (int bit = s.width - 1; bit >= 0; --bit)
+        os << ((c.value >> bit) & 1);
+      os << ' ' << s.code << '\n';
+    }
+  }
+  return os.str();
+}
+
+bool VcdWriter::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << render();
+  return static_cast<bool>(f);
+}
+
+}  // namespace chainnn::sim

@@ -1,0 +1,58 @@
+// Minimal VCD (Value Change Dump) writer — the waveform debugging tool
+// an RTL engineer would reach for. The chain module uses it to dump a
+// single strip pass (channel inputs, mux selects, psums) for inspection
+// in GTKWave-compatible viewers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace chainnn::sim {
+
+class VcdWriter {
+ public:
+  // `timescale` e.g. "1ns" (one unit per chain cycle at ~700MHz ≈ 1.4ns;
+  // cycle indices are what matter, not absolute time).
+  explicit VcdWriter(std::string timescale = "1ns");
+
+  // Declares a signal of `width` bits under `scope.name`; returns its
+  // handle. All declarations must precede the first change().
+  std::int64_t add_signal(const std::string& scope, const std::string& name,
+                          int width);
+
+  // Records signal `id` holding `value` from time `t` on. Idempotent for
+  // unchanged values (VCD only stores changes).
+  void change(std::int64_t t, std::int64_t id, std::int64_t value);
+
+  // Renders the complete VCD document.
+  [[nodiscard]] std::string render() const;
+
+  // Writes to `path`; false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct Signal {
+    std::string scope;
+    std::string name;
+    int width = 1;
+    std::string code;  // VCD identifier code
+    std::int64_t last_value = 0;
+    bool has_value = false;
+  };
+  struct Change {
+    std::int64_t time;
+    std::int64_t id;
+    std::int64_t value;
+  };
+
+  static std::string code_for(std::int64_t index);
+
+  std::string timescale_;
+  std::vector<Signal> signals_;
+  std::vector<Change> changes_;
+  bool sealed_ = false;
+};
+
+}  // namespace chainnn::sim

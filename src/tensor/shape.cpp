@@ -1,0 +1,48 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+namespace chainnn {
+
+std::int64_t Shape::num_elements() const {
+  std::int64_t n = 1;
+  for (std::int64_t d : dims_) n *= d;
+  return n;
+}
+
+std::vector<std::int64_t> Shape::strides() const {
+  std::vector<std::int64_t> s(dims_.size(), 1);
+  for (std::size_t i = dims_.size(); i-- > 1;)
+    s[i - 1] = s[i] * dims_[i];
+  return s;
+}
+
+std::int64_t Shape::offset(std::initializer_list<std::int64_t> index) const {
+  CHAINNN_CHECK_MSG(index.size() == dims_.size(),
+                    "index rank " << index.size() << " vs shape rank "
+                                  << dims_.size());
+  const auto st = strides();
+  std::int64_t off = 0;
+  std::size_t i = 0;
+  for (std::int64_t ix : index) {
+    CHAINNN_CHECK_MSG(ix >= 0 && ix < dims_[i],
+                      "index " << ix << " out of bounds for dim " << i
+                               << " size " << dims_[i]);
+    off += ix * st[i];
+    ++i;
+  }
+  return off;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i != 0) os << 'x';
+    os << dims_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace chainnn

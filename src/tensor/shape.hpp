@@ -1,0 +1,52 @@
+// Shape algebra for N-dimensional row-major tensors.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace chainnn {
+
+// Dimension sizes, outermost first (e.g. {N, C, H, W}).
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) { validate(); }
+  explicit Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+    validate();
+  }
+
+  [[nodiscard]] std::size_t rank() const { return dims_.size(); }
+  [[nodiscard]] std::int64_t dim(std::size_t i) const {
+    CHAINNN_CHECK_MSG(i < dims_.size(), "dim " << i << " of rank " << rank());
+    return dims_[i];
+  }
+  [[nodiscard]] const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  // Total element count (product of dims; 1 for rank 0).
+  [[nodiscard]] std::int64_t num_elements() const;
+
+  // Row-major strides (innermost stride 1).
+  [[nodiscard]] std::vector<std::int64_t> strides() const;
+
+  // Flat offset of a multi-index (bounds-checked).
+  [[nodiscard]] std::int64_t offset(
+      std::initializer_list<std::int64_t> index) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Shape&, const Shape&) = default;
+
+ private:
+  void validate() const {
+    for (std::int64_t d : dims_)
+      CHAINNN_CHECK_MSG(d > 0, "non-positive dimension in " << to_string());
+  }
+
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace chainnn

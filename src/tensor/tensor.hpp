@@ -1,0 +1,133 @@
+// Row-major N-dimensional tensor with value semantics.
+//
+// The simulator moves 16-bit raw words (Tensor<std::int16_t>); the golden
+// models use Tensor<float> / Tensor<double>; accumulator-level references
+// use Tensor<std::int64_t>. Data is owned (std::vector); copies are deep,
+// moves are cheap — Rule of Zero throughout.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "tensor/shape.hpp"
+
+namespace chainnn {
+
+template <typename T>
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        strides_(shape_.strides()),
+        data_(static_cast<std::size_t>(shape_.num_elements()), T{}) {}
+
+  Tensor(Shape shape, T fill_value)
+      : shape_(std::move(shape)),
+        strides_(shape_.strides()),
+        data_(static_cast<std::size_t>(shape_.num_elements()), fill_value) {}
+
+  Tensor(Shape shape, std::vector<T> data)
+      : shape_(std::move(shape)),
+        strides_(shape_.strides()),
+        data_(std::move(data)) {
+    CHAINNN_CHECK_MSG(
+        static_cast<std::int64_t>(data_.size()) == shape_.num_elements(),
+        "data size " << data_.size() << " vs shape " << shape_.to_string());
+  }
+
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] std::int64_t num_elements() const {
+    return static_cast<std::int64_t>(data_.size());
+  }
+  [[nodiscard]] std::span<const T> data() const { return data_; }
+  [[nodiscard]] std::span<T> mutable_data() { return data_; }
+
+  // Flat element access.
+  [[nodiscard]] const T& at_flat(std::int64_t i) const {
+    CHAINNN_CHECK_MSG(i >= 0 && i < num_elements(),
+                      "flat index " << i << " of " << num_elements());
+    return data_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] T& at_flat(std::int64_t i) {
+    CHAINNN_CHECK_MSG(i >= 0 && i < num_elements(),
+                      "flat index " << i << " of " << num_elements());
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  // Multi-index access; rank checked, bounds checked.
+  [[nodiscard]] const T& operator()(
+      std::initializer_list<std::int64_t> index) const {
+    return data_[static_cast<std::size_t>(shape_.offset(index))];
+  }
+  [[nodiscard]] T& operator()(std::initializer_list<std::int64_t> index) {
+    return data_[static_cast<std::size_t>(shape_.offset(index))];
+  }
+
+  // Convenience fixed-rank accessors for the common layouts.
+  [[nodiscard]] const T& at(std::int64_t a, std::int64_t b) const {
+    return (*this)({a, b});
+  }
+  [[nodiscard]] T& at(std::int64_t a, std::int64_t b) {
+    return (*this)({a, b});
+  }
+  [[nodiscard]] const T& at(std::int64_t a, std::int64_t b,
+                            std::int64_t c) const {
+    return (*this)({a, b, c});
+  }
+  [[nodiscard]] T& at(std::int64_t a, std::int64_t b, std::int64_t c) {
+    return (*this)({a, b, c});
+  }
+  [[nodiscard]] const T& at(std::int64_t a, std::int64_t b, std::int64_t c,
+                            std::int64_t d) const {
+    return (*this)({a, b, c, d});
+  }
+  [[nodiscard]] T& at(std::int64_t a, std::int64_t b, std::int64_t c,
+                      std::int64_t d) {
+    return (*this)({a, b, c, d});
+  }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  // Fills with deterministic uniform values (for integral T, a range of
+  // small magnitudes so fixed-point accumulations stay well-conditioned).
+  void fill_random(Rng& rng, double lo, double hi) {
+    for (T& v : data_) {
+      if constexpr (std::is_integral_v<T>) {
+        v = static_cast<T>(rng.uniform_int(static_cast<std::int64_t>(lo),
+                                           static_cast<std::int64_t>(hi)));
+      } else {
+        v = static_cast<T>(rng.uniform(lo, hi));
+      }
+    }
+  }
+
+  friend bool operator==(const Tensor&, const Tensor&) = default;
+
+ private:
+  Shape shape_;
+  std::vector<std::int64_t> strides_;
+  std::vector<T> data_;
+};
+
+// Maximum absolute elementwise difference between equal-shaped tensors.
+template <typename T>
+[[nodiscard]] double max_abs_diff(const Tensor<T>& a, const Tensor<T>& b) {
+  CHAINNN_CHECK(a.shape() == b.shape());
+  double m = 0.0;
+  const auto da = a.data();
+  const auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    const double d = std::abs(static_cast<double>(da[i]) -
+                              static_cast<double>(db[i]));
+    if (d > m) m = d;
+  }
+  return m;
+}
+
+}  // namespace chainnn

@@ -1,0 +1,64 @@
+#include "baseline/spatial_2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/models.hpp"
+#include "report/paper_constants.hpp"
+
+namespace chainnn::baseline {
+namespace {
+
+TEST(Spatial2d, PeakThroughputMatchesPublished) {
+  const Spatial2dModel m;
+  EXPECT_EQ(m.num_pes(), 168);
+  EXPECT_NEAR(m.peak_ops_per_s() / 1e9, 84.0, 0.1);  // Table V
+}
+
+TEST(Spatial2d, EfficiencyFromPeakAndPower) {
+  const Spatial2dModel m;
+  EXPECT_NEAR(m.efficiency_gops_per_w(), 84.0 / 0.45, 0.5);
+}
+
+TEST(Spatial2d, MappingUtilizationDropsForTallKernels) {
+  const Spatial2dModel m;
+  const auto layers = nn::alexnet().conv_layers;
+  // conv3 (K=3, E=13): 4 vertical sets x 3 rows x 13 cols = 156/168.
+  EXPECT_NEAR(m.mapping_utilization(layers[2]), 156.0 / 168.0, 1e-9);
+  // conv1 (K=11): only one 11-row set fits 12 rows -> 11*14/168.
+  EXPECT_NEAR(m.mapping_utilization(layers[0]), 11.0 * 14.0 / 168.0, 1e-9);
+  // 2D placement constraint: conv1 maps worse than conv3 (§III.A.2).
+  EXPECT_LT(m.mapping_utilization(layers[0]),
+            m.mapping_utilization(layers[2]));
+}
+
+TEST(Spatial2d, KernelTallerThanArrayFailsToMap) {
+  const Spatial2dModel m;
+  nn::ConvLayerParams p;
+  p.in_channels = 1;
+  p.out_channels = 1;
+  p.in_height = p.in_width = 20;
+  p.kernel = 13;  // > 12 rows
+  EXPECT_DOUBLE_EQ(m.mapping_utilization(p), 0.0);
+  EXPECT_THROW((void)m.cycles_per_image(p), std::logic_error);
+}
+
+TEST(Spatial2d, CyclesInverseToUtilization) {
+  const Spatial2dModel m;
+  const auto conv3 = nn::alexnet().conv_layers[2];
+  const double util = m.mapping_utilization(conv3);
+  const double expect =
+      static_cast<double>(conv3.macs_per_image()) / (168.0 * util);
+  EXPECT_NEAR(static_cast<double>(m.cycles_per_image(conv3)), expect, 1.0);
+}
+
+TEST(Spatial2d, ChainNNBeatsEyerissEfficiencyBy2_5x) {
+  // The abstract's headline: "at least 2.5x" the best prior efficiency,
+  // against Eyeriss scaled to 28 nm. 1421.0/570.1 = 2.49, which the
+  // paper rounds to 2.5.
+  const double chain_nn = report::kEfficiencyGopsPerW;
+  const double eyeriss_scaled = report::kEyerissScaledTo28nmGopsPerW;
+  EXPECT_GE(chain_nn / eyeriss_scaled, report::kMinEfficiencyGain - 0.02);
+}
+
+}  // namespace
+}  // namespace chainnn::baseline

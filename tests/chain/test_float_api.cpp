@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "chain/accelerator.hpp"
+#include "common/rng.hpp"
+#include "nn/golden.hpp"
+
+namespace chainnn::chain {
+namespace {
+
+nn::ConvLayerParams small_layer() {
+  nn::ConvLayerParams p;
+  p.name = "float";
+  p.in_channels = 3;
+  p.out_channels = 4;
+  p.in_height = p.in_width = 10;
+  p.kernel = 3;
+  p.pad = 1;
+  p.validate();
+  return p;
+}
+
+TEST(FloatApi, TracksFloatGoldenWithinQuantizationError) {
+  const auto p = small_layer();
+  Rng rng(21);
+  Tensor<float> x(Shape{1, 3, 10, 10});
+  Tensor<float> w(Shape{4, 3, 3, 3});
+  x.fill_random(rng, -1.0, 1.0);
+  w.fill_random(rng, -0.3, 0.3);
+
+  AcceleratorConfig cfg;
+  cfg.array.num_pes = 72;
+  cfg.array.kmem_words_per_pe = 16;
+  ChainAccelerator acc(cfg);
+  fixed::NarrowingStats qstats;
+  const auto res = acc.run_layer_float(p, x, w, &qstats);
+
+  const Tensor<float> golden = nn::conv2d_float(p, x, w);
+  ASSERT_EQ(res.ofmaps.shape(), golden.shape());
+  // 27 taps x (two quantized operands): worst case a few output LSBs.
+  EXPECT_LT(max_abs_diff(res.ofmaps, golden), 0.05);
+  EXPECT_GT(qstats.count, 0u);
+  EXPECT_EQ(qstats.saturations, 0u);
+}
+
+TEST(FloatApi, RawResultConsistentWithFloatView) {
+  const auto p = small_layer();
+  Rng rng(22);
+  Tensor<float> x(Shape{1, 3, 10, 10});
+  Tensor<float> w(Shape{4, 3, 3, 3});
+  x.fill_random(rng, -0.5, 0.5);
+  w.fill_random(rng, -0.2, 0.2);
+
+  AcceleratorConfig cfg;
+  cfg.array.num_pes = 72;
+  cfg.array.kmem_words_per_pe = 16;
+  ChainAccelerator acc(cfg);
+  const auto res = acc.run_layer_float(p, x, w);
+  for (std::int64_t i = 0; i < res.ofmaps.num_elements(); ++i)
+    EXPECT_FLOAT_EQ(res.ofmaps.at_flat(i),
+                    static_cast<float>(res.raw.ofmaps.at_flat(i)) /
+                        static_cast<float>(cfg.ofmap_fmt.scale()));
+  EXPECT_GT(res.raw.stats.stream_cycles, 0);
+}
+
+TEST(FloatApi, SaturationReportedForOutOfRangeData) {
+  const auto p = small_layer();
+  Tensor<float> x(Shape{1, 3, 10, 10}, 1000.0f);  // >> Q7.8 max (~128)
+  Tensor<float> w(Shape{4, 3, 3, 3}, 0.01f);
+  AcceleratorConfig cfg;
+  cfg.array.num_pes = 72;
+  cfg.array.kmem_words_per_pe = 16;
+  ChainAccelerator acc(cfg);
+  fixed::NarrowingStats qstats;
+  (void)acc.run_layer_float(p, x, w, &qstats);
+  EXPECT_GT(qstats.saturations, 0u);
+}
+
+}  // namespace
+}  // namespace chainnn::chain

@@ -1,0 +1,57 @@
+#include "chain/pass_dump.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace chainnn::chain {
+namespace {
+
+TEST(PassDump, ProducesWellFormedVcd) {
+  const StripPattern pattern(3, 3, 5, 7, 3, true);
+  Rng rng(1);
+  Tensor<std::int16_t> strip(Shape{5, 7});
+  Tensor<std::int16_t> kernel(Shape{3, 3});
+  strip.fill_random(rng, -20, 20);
+  kernel.fill_random(rng, -5, 5);
+
+  const std::string vcd = dump_pass_vcd(pattern, strip, kernel);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(vcd.find("ch0_in"), std::string::npos);
+  EXPECT_NE(vcd.find("ch1_in"), std::string::npos);
+  EXPECT_NE(vcd.find("psum_out"), std::string::npos);
+  EXPECT_NE(vcd.find("window_valid"), std::string::npos);
+  // One pe scope per tap.
+  for (int p = 0; p < 9; ++p)
+    EXPECT_NE(vcd.find("$scope module pe" + std::to_string(p) + " $end"),
+              std::string::npos)
+        << p;
+}
+
+TEST(PassDump, WindowValidAssertsAfterWarmup) {
+  const StripPattern pattern(2, 2, 3, 6, 2, true);
+  Tensor<std::int16_t> strip(Shape{3, 6}, std::int16_t{1});
+  Tensor<std::int16_t> kernel(Shape{2, 2}, std::int16_t{1});
+  const std::string vcd = dump_pass_vcd(pattern, strip, kernel);
+  // window_valid must toggle to 1 somewhere (completions exist).
+  // Find the identifier code of window_valid from its declaration.
+  const auto decl = vcd.find(" window_valid $end");
+  ASSERT_NE(decl, std::string::npos);
+  // "$var wire 1 <code> window_valid $end" — code precedes name.
+  const auto line_start = vcd.rfind('\n', decl) + 1;
+  const std::string line = vcd.substr(line_start, decl - line_start);
+  const auto last_space = line.rfind(' ');
+  const std::string code = line.substr(last_space + 1);
+  EXPECT_NE(vcd.find("1" + code), std::string::npos);
+}
+
+TEST(PassDump, RejectsMismatchedKernelShape) {
+  const StripPattern pattern(3, 3, 5, 7, 3, true);
+  Tensor<std::int16_t> strip(Shape{5, 7});
+  Tensor<std::int16_t> wrong(Shape{2, 2});
+  EXPECT_THROW((void)dump_pass_vcd(pattern, strip, wrong),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace chainnn::chain

@@ -1,0 +1,198 @@
+#include "chain/scan_pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace chainnn::chain {
+namespace {
+
+StripPattern full_dual(std::int64_t k, std::int64_t cols) {
+  return StripPattern(k, k, 2 * k - 1, cols, k, /*dual_channel=*/true);
+}
+
+TEST(ScanPattern, ReproducesPaperFig5bTimestamps) {
+  // Fig. 5(b): K=3, pixel (r,c) of the 5-row strip is numbered 3c+r+1
+  // (1-indexed); our slots are the same minus 1. Odd/even columns ride
+  // separate channels.
+  const StripPattern p = full_dual(3, 7);
+  for (std::int64_t c = 0; c < 7; ++c) {
+    for (std::int64_t r = 0; r < 5; ++r) {
+      const std::int64_t slot = 3 * c + r;  // paper timestamp - 1
+      const int channel = static_cast<int>(c % 2);
+      const auto px = p.pixel_at(slot, channel);
+      ASSERT_TRUE(px.has_value()) << "slot " << slot;
+      EXPECT_EQ(px->row, r);
+      EXPECT_EQ(px->col, c);
+    }
+  }
+}
+
+TEST(ScanPattern, AtMostOnePixelPerChannelPerSlot) {
+  const StripPattern p = full_dual(3, 9);
+  for (std::int64_t slot = 0; slot < p.num_slots(); ++slot) {
+    for (int ch = 0; ch < 2; ++ch) {
+      const auto px = p.pixel_at(slot, ch);
+      if (px) {
+        EXPECT_EQ(px->channel, ch);
+        EXPECT_EQ(static_cast<int>(px->col % 2), ch);
+      }
+    }
+  }
+}
+
+TEST(ScanPattern, EveryPixelScheduledExactlyOnce) {
+  const StripPattern p = full_dual(3, 8);
+  std::set<std::pair<std::int64_t, std::int64_t>> seen;
+  for (const ScheduledPixel& px : p.schedule()) {
+    const bool inserted = seen.insert({px.row, px.col}).second;
+    EXPECT_TRUE(inserted) << "duplicate (" << px.row << "," << px.col << ")";
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(5 * 8));
+}
+
+TEST(ScanPattern, SteadyStateOneCompletionPerSlot) {
+  // §IV.C: "pixels [t-K2+1, t] form a convolutional window since 9th
+  // cycle for any given t" — after warm-up every slot completes a window.
+  const StripPattern p = full_dual(3, 10);
+  std::int64_t last_completion_slot = -1;
+  std::int64_t count = 0;
+  for (const WindowCompletion& w : p.completions()) {
+    if (last_completion_slot >= 0) {
+      EXPECT_EQ(w.slot, last_completion_slot + 1);
+    }
+    last_completion_slot = w.slot;
+    ++count;
+  }
+  EXPECT_EQ(count, 3 * (10 - 3 + 1));  // K rows x E_w columns
+  // First completion at slot T-1 = 8 (paper's "9th cycle", 1-indexed).
+  EXPECT_EQ(p.completions().front().slot, 8);
+}
+
+TEST(ScanPattern, CompletionsCoverAllWindowsOnce) {
+  const StripPattern p = full_dual(4, 9);
+  std::set<std::pair<std::int64_t, std::int64_t>> seen;
+  for (const WindowCompletion& w : p.completions()) {
+    EXPECT_GE(w.r0, 0);
+    EXPECT_LT(w.r0, 4);
+    EXPECT_GE(w.c0, 0);
+    EXPECT_LE(w.c0, 9 - 4);
+    EXPECT_TRUE(seen.insert({w.r0, w.c0}).second);
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(4 * 6));
+}
+
+// THE core invariant (§IV.B): scan position s of the window completing at
+// slot t arrives at slot t-(T-1)+s on the channel of its column parity.
+class SlidingWindowProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SlidingWindowProperty, ScanPixelsArriveContiguously) {
+  const auto [kr, kc, cols] = GetParam();
+  const std::int64_t t_taps = kr * kc;
+  const StripPattern p(kr, kc, 2 * kr - 1, cols, kr, true);
+  for (const WindowCompletion& w : p.completions()) {
+    for (std::int64_t s = 0; s < t_taps; ++s) {
+      const std::int64_t want_row = w.r0 + s % kr;
+      const std::int64_t want_col = w.c0 + s / kr;
+      const std::int64_t slot = w.slot - (t_taps - 1) + s;
+      const int channel = static_cast<int>(want_col % 2);
+      const auto px = p.pixel_at(slot, channel);
+      ASSERT_TRUE(px.has_value())
+          << "window(" << w.r0 << "," << w.c0 << ") scan " << s;
+      EXPECT_EQ(px->row, want_row);
+      EXPECT_EQ(px->col, want_col);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, SlidingWindowProperty,
+    ::testing::Values(std::make_tuple(1, 1, 5), std::make_tuple(2, 2, 6),
+                      std::make_tuple(3, 3, 9), std::make_tuple(3, 2, 8),
+                      std::make_tuple(2, 3, 8), std::make_tuple(5, 5, 12),
+                      std::make_tuple(7, 7, 16), std::make_tuple(4, 4, 11)));
+
+TEST(ScanPattern, MuxSelectMatchesNeededChannel) {
+  // For every completion and every PE position, the mux must select the
+  // channel carrying that PE's operand at its MAC slot (PE p MACs for
+  // window t at slot t + p, reading tap age 2p = entry slot t - p).
+  const StripPattern p = full_dual(3, 9);
+  const std::int64_t t_taps = p.taps();
+  for (const WindowCompletion& w : p.completions()) {
+    for (std::int64_t pe = 0; pe < t_taps; ++pe) {
+      const std::int64_t s = t_taps - 1 - pe;
+      const std::int64_t want_col = w.c0 + s / p.k_rows();
+      const int want_channel = static_cast<int>(want_col % 2);
+      EXPECT_EQ(p.mux_select(pe, w.slot + pe), want_channel)
+          << "window slot " << w.slot << " pe " << pe;
+    }
+  }
+}
+
+TEST(ScanPattern, MuxSelectPeriodIs2K) {
+  const StripPattern p = full_dual(3, 40);
+  for (std::int64_t pe = 0; pe < 9; ++pe)
+    for (std::int64_t slot = 20; slot < 60; ++slot)
+      EXPECT_EQ(p.mux_select(pe, slot), p.mux_select(pe, slot + 6));
+}
+
+TEST(ScanPattern, PartialStripLimitsRows) {
+  // out_rows = 2 with K = 3: strip has 4 rows; no window with r0 = 2.
+  const StripPattern p(3, 3, 4, 8, 2, true);
+  for (const WindowCompletion& w : p.completions()) EXPECT_LT(w.r0, 2);
+  EXPECT_EQ(p.completions().size(), static_cast<std::size_t>(2 * 6));
+}
+
+TEST(ScanPattern, SingleChannelCompletesEveryKSlots) {
+  // Fig. 5(a): one channel sustains one window per K cycles.
+  const StripPattern p(3, 3, 5, 8, 3, /*dual_channel=*/false);
+  const auto comps = p.completions();
+  ASSERT_FALSE(comps.empty());
+  for (std::size_t i = 1; i < comps.size(); ++i) {
+    const std::int64_t gap = comps[i].slot - comps[i - 1].slot;
+    // Within a row group: exactly K; across groups: larger.
+    if (comps[i].r0 == comps[i - 1].r0) {
+      EXPECT_EQ(gap, 3);
+    }
+  }
+  EXPECT_EQ(comps.size(), static_cast<std::size_t>(3 * 6));
+  // All pixels on channel 0.
+  for (std::int64_t slot = 0; slot < p.num_slots(); ++slot)
+    EXPECT_FALSE(p.pixel_at(slot, 1).has_value());
+}
+
+TEST(ScanPattern, SingleChannelSlidingProperty) {
+  const StripPattern p(3, 3, 5, 8, 3, false);
+  for (const WindowCompletion& w : p.completions()) {
+    for (std::int64_t s = 0; s < 9; ++s) {
+      const auto px = p.pixel_at(w.slot - 8 + s, 0);
+      ASSERT_TRUE(px.has_value());
+      EXPECT_EQ(px->row, w.r0 + s % 3);
+      EXPECT_EQ(px->col, w.c0 + s / 3);
+    }
+  }
+}
+
+TEST(ScanPattern, ChannelUtilizationLeavesOneGapPer2K) {
+  // Each channel is busy 2K-1 of every 2K slots in steady state.
+  const StripPattern p = full_dual(3, 20);
+  std::int64_t busy = 0;
+  const std::int64_t window_start = 12, window_end = 48;  // steady state
+  for (std::int64_t slot = window_start; slot < window_end; ++slot)
+    if (p.pixel_at(slot, 0)) ++busy;
+  const double frac =
+      static_cast<double>(busy) / static_cast<double>(window_end -
+                                                      window_start);
+  EXPECT_NEAR(frac, 5.0 / 6.0, 0.03);
+}
+
+TEST(ScanPattern, RejectsBadGeometry) {
+  EXPECT_THROW(StripPattern(3, 3, 5, 2, 3, true), std::logic_error);
+  EXPECT_THROW(StripPattern(3, 3, 4, 8, 3, true), std::logic_error);
+  EXPECT_THROW(StripPattern(0, 3, 5, 8, 3, true), std::logic_error);
+}
+
+}  // namespace
+}  // namespace chainnn::chain

@@ -1,0 +1,109 @@
+// Parameterized sweep of the staged-16 psum storage policy across psum
+// formats and layer geometries: the staged datapath must match its
+// pass-order reference bit for bit, and must agree with the wide policy
+// whenever the format has headroom.
+#include <gtest/gtest.h>
+
+#include "chain/accelerator.hpp"
+#include "common/rng.hpp"
+#include "nn/golden.hpp"
+
+namespace chainnn::chain {
+namespace {
+
+struct StagedCase {
+  int psum_frac;
+  std::int64_t c, m, hw, k, stride, pad, groups;
+  bool expect_equal_to_wide;  // headroom regime
+};
+
+class StagedSweep : public ::testing::TestWithParam<StagedCase> {};
+
+TEST_P(StagedSweep, MatchesStagedReference) {
+  const StagedCase& sc = GetParam();
+  nn::ConvLayerParams p;
+  p.name = "staged";
+  p.in_channels = sc.c;
+  p.out_channels = sc.m;
+  p.in_height = p.in_width = sc.hw;
+  p.kernel = sc.k;
+  p.stride = sc.stride;
+  p.pad = sc.pad;
+  p.groups = sc.groups;
+  p.validate();
+
+  AcceleratorConfig cfg;
+  cfg.array.num_pes = 128;
+  cfg.array.kmem_words_per_pe = 64;
+  cfg.psum_storage = PsumStorage::kStaged16;
+  cfg.psum_fmt = fixed::FixedFormat{sc.psum_frac};
+  cfg.ofmap_fmt = fixed::FixedFormat{sc.psum_frac};
+
+  Rng rng(static_cast<std::uint64_t>(sc.psum_frac) * 31 + sc.k);
+  Tensor<std::int16_t> x(Shape{1, p.in_channels, p.in_height, p.in_width});
+  Tensor<std::int16_t> w(
+      Shape{p.out_channels, p.channels_per_group(), p.kernel, p.kernel});
+  x.fill_random(rng, -24, 24);
+  w.fill_random(rng, -6, 6);
+
+  ChainAccelerator acc(cfg);
+  const LayerRunResult res = acc.run_layer(p, x, w);
+
+  // 1) Bit-exact vs the staged pass-order reference.
+  const Tensor<std::int64_t> ref = staged_reference(cfg, res.plan, x, w);
+  ASSERT_EQ(res.accumulators, ref) << p.to_string();
+
+  // 2) Headroom regime: matches the wide policy after requantization.
+  if (sc.expect_equal_to_wide) {
+    AcceleratorConfig wide = cfg;
+    wide.psum_storage = PsumStorage::kWide;
+    ChainAccelerator acc_wide(wide);
+    const LayerRunResult res_wide = acc_wide.run_layer(p, x, w);
+    EXPECT_EQ(res.ofmaps, res_wide.ofmaps) << p.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, StagedSweep,
+    ::testing::Values(
+        // Plenty of headroom: small fractions, small data.
+        StagedCase{2, 2, 2, 8, 3, 1, 0, 1, true},
+        StagedCase{4, 2, 3, 9, 3, 1, 1, 1, true},
+        StagedCase{4, 4, 4, 8, 3, 1, 1, 2, true},
+        StagedCase{3, 1, 2, 13, 5, 2, 2, 1, true},
+        StagedCase{2, 1, 1, 15, 11, 4, 0, 1, true},
+        // Tight formats where staging may clip (reference must still
+        // match exactly; wide equality not required).
+        StagedCase{10, 3, 2, 8, 3, 1, 0, 1, false},
+        StagedCase{12, 2, 2, 10, 5, 1, 2, 1, false},
+        StagedCase{14, 2, 2, 7, 3, 1, 1, 1, false}));
+
+TEST(StagedPolicy, ClippingIsDeterministicAndSaturating) {
+  // Force clipping: large operands, maximal psum fraction.
+  nn::ConvLayerParams p;
+  p.name = "clip";
+  p.in_channels = 4;
+  p.out_channels = 1;
+  p.in_height = p.in_width = 6;
+  p.kernel = 3;
+  p.validate();
+
+  AcceleratorConfig cfg;
+  cfg.array.num_pes = 36;
+  cfg.array.kmem_words_per_pe = 16;
+  cfg.psum_storage = PsumStorage::kStaged16;
+  cfg.psum_fmt = fixed::FixedFormat{15};
+
+  Tensor<std::int16_t> x(Shape{1, 4, 6, 6}, std::int16_t{3000});
+  Tensor<std::int16_t> w(Shape{1, 4, 3, 3}, std::int16_t{3000});
+  ChainAccelerator acc(cfg);
+  const LayerRunResult res = acc.run_layer(p, x, w);
+  // Every partial saturates at +32767 (positive operands).
+  for (std::int64_t i = 0; i < res.accumulators.num_elements(); ++i)
+    EXPECT_EQ(res.accumulators.at_flat(i), 32767);
+  // And matches the reference under identical staging.
+  EXPECT_EQ(res.accumulators, staged_reference(cfg, res.plan, x, w));
+}
+
+}  // namespace
+}  // namespace chainnn::chain

@@ -1,0 +1,39 @@
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chainnn {
+namespace {
+
+TEST(Check, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(CHAINNN_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailureThrowsLogicError) {
+  EXPECT_THROW(CHAINNN_CHECK(false), std::logic_error);
+}
+
+TEST(Check, MessageIncludesExpressionAndContext) {
+  try {
+    CHAINNN_CHECK_MSG(2 < 1, "value was " << 42);
+    FAIL() << "expected throw";
+  } catch (const std::logic_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("2 < 1"), std::string::npos);
+    EXPECT_NE(msg.find("value was 42"), std::string::npos);
+    EXPECT_NE(msg.find("test_check.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, ConditionEvaluatedOnce) {
+  int calls = 0;
+  auto count = [&calls]() {
+    ++calls;
+    return true;
+  };
+  CHAINNN_CHECK(count());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace chainnn

@@ -1,0 +1,45 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace chainnn {
+namespace {
+
+TEST(Csv, BasicEmission) {
+  CsvWriter w({"a", "b"});
+  w.add_row({"1", "2"});
+  w.add_row({"3", "4"});
+  EXPECT_EQ(w.to_string(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Csv, QuotesSpecialCells) {
+  CsvWriter w({"x"});
+  w.add_row({"has,comma"});
+  w.add_row({"has\"quote"});
+  w.add_row({"has\nnewline"});
+  EXPECT_EQ(w.to_string(),
+            "x\n\"has,comma\"\n\"has\"\"quote\"\n\"has\nnewline\"\n");
+}
+
+TEST(Csv, RejectsWrongWidth) {
+  CsvWriter w({"a", "b"});
+  EXPECT_THROW(w.add_row({"1"}), std::logic_error);
+}
+
+TEST(Csv, WriteFileRoundTrip) {
+  CsvWriter w({"h"});
+  w.add_row({"v"});
+  const std::string path = testing::TempDir() + "/chainnn_csv_test.csv";
+  ASSERT_TRUE(w.write_file(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, n), "h\nv\n");
+}
+
+}  // namespace
+}  // namespace chainnn

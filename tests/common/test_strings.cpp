@@ -1,0 +1,57 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chainnn::strings {
+namespace {
+
+TEST(Strings, FmtFixed) {
+  EXPECT_EQ(fmt_fixed(806.44, 1), "806.4");
+  EXPECT_EQ(fmt_fixed(806.45, 0), "806");
+  EXPECT_EQ(fmt_fixed(-1.5, 2), "-1.50");
+  EXPECT_EQ(fmt_fixed(0.0, 3), "0.000");
+}
+
+TEST(Strings, FmtSiPicksScale) {
+  EXPECT_EQ(fmt_si(3751e3, 2), "3.75 M");
+  EXPECT_EQ(fmt_si(806.4e9, 1), "806.4 G");
+  EXPECT_EQ(fmt_si(1.421e12, 2), "1.42 T");
+  EXPECT_EQ(fmt_si(6510.0, 2), "6.51 k");
+  EXPECT_EQ(fmt_si(42.0, 0), "42");
+}
+
+TEST(Strings, FmtBytesUsesBinaryUnits) {
+  EXPECT_EQ(fmt_bytes(352.0 * 1024, 1), "352.0KB");
+  EXPECT_EQ(fmt_bytes(24.5 * 1024 * 1024, 1), "24.5MB");
+  EXPECT_EQ(fmt_bytes(512, 0), "512B");
+  EXPECT_EQ(fmt_bytes(3.0 * 1024 * 1024 * 1024, 1), "3.0GB");
+}
+
+TEST(Strings, FmtPct) {
+  EXPECT_EQ(fmt_pct(0.998, 1), "99.8%");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100%");
+  EXPECT_EQ(fmt_pct(0.84, 1), "84.0%");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, " | "), "a | b | c");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcdef", 4), "abcdef");  // never truncates
+  EXPECT_EQ(pad_right("abcdef", 4), "abcdef");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-f", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_FALSE(starts_with("", "a"));
+}
+
+}  // namespace
+}  // namespace chainnn::strings

@@ -1,0 +1,69 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace chainnn {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.set_header({"layer", "ms"});
+  t.add_row({"conv1", "159.30"});
+  t.add_row({"c2", "1.0"});
+  const std::string out = t.to_ascii();
+  EXPECT_NE(out.find("| layer | ms     |"), std::string::npos);
+  EXPECT_NE(out.find("| conv1 | 159.30 |"), std::string::npos);
+  EXPECT_NE(out.find("| c2    | 1.0    |"), std::string::npos);
+}
+
+TEST(TextTable, TitlePrinted) {
+  TextTable t("Table II");
+  t.set_header({"a"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.to_ascii().rfind("Table II\n", 0), 0u);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(TextTable, SeparatorInsertsRule) {
+  TextTable t;
+  t.set_header({"a"});
+  t.add_row({"x"});
+  t.add_separator();
+  t.add_row({"y"});
+  const std::string out = t.to_ascii();
+  // header rule + top + bottom + separator = 4 horizontal rules
+  std::size_t rules = 0;
+  for (std::size_t pos = 0; (pos = out.find("+---", pos)) != std::string::npos;
+       ++pos)
+    ++rules;
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TextTable, MarkdownShape) {
+  TextTable t;
+  t.set_header({"k", "v"});
+  t.add_row({"x", "1"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| k | v |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| x | 1 |"), std::string::npos);
+}
+
+TEST(TextTable, NumRows) {
+  TextTable t;
+  t.set_header({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace chainnn

@@ -1,0 +1,92 @@
+#include "dataflow/stride_decompose.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chainnn::dataflow {
+namespace {
+
+nn::ConvLayerParams strided(std::int64_t k, std::int64_t s,
+                            std::int64_t hw = 32, std::int64_t pad = 0) {
+  nn::ConvLayerParams p;
+  p.name = "strided";
+  p.in_channels = 1;
+  p.out_channels = 1;
+  p.in_height = p.in_width = hw;
+  p.kernel = k;
+  p.stride = s;
+  p.pad = pad;
+  return p;
+}
+
+TEST(StrideDecompose, IdentityForStride1) {
+  const auto subs = decompose_strided(strided(3, 1));
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0].kernel_rows, 3);
+  EXPECT_EQ(subs[0].kernel_cols, 3);
+  EXPECT_EQ(subs[0].in_rows, 32);
+  EXPECT_EQ(subs[0].in_cols, 32);
+}
+
+TEST(StrideDecompose, AlexNetConv1Phases) {
+  // K=11, S=4: row phases get ceil((11-a)/4) = 3,3,3,2 rows.
+  const auto subs = decompose_strided(strided(11, 4, 227));
+  ASSERT_EQ(subs.size(), 16u);
+  EXPECT_EQ(subs[0].kernel_rows, 3);
+  EXPECT_EQ(subs[0].kernel_cols, 3);
+  const auto& last = subs.back();  // phase (3,3)
+  EXPECT_EQ(last.kernel_rows, 2);
+  EXPECT_EQ(last.kernel_cols, 2);
+}
+
+TEST(StrideDecompose, TapCountsPartitionKernel) {
+  for (const auto& [k, s] : std::vector<std::pair<std::int64_t, std::int64_t>>{
+           {11, 4}, {7, 2}, {5, 3}, {3, 2}, {4, 4}, {5, 5}, {3, 5}}) {
+    const auto subs = decompose_strided(strided(k, s, 64));
+    std::int64_t taps = 0;
+    for (const auto& sc : subs) taps += sc.taps();
+    EXPECT_EQ(taps, k * k) << "K=" << k << " S=" << s;
+  }
+}
+
+TEST(StrideDecompose, StrideLargerThanKernelHasKxKPhases) {
+  // S=5 > K=3: only phases a,b < K carry taps; each sub-kernel is 1x1.
+  const auto subs = decompose_strided(strided(3, 5, 64));
+  ASSERT_EQ(subs.size(), 9u);
+  for (const auto& sc : subs) EXPECT_EQ(sc.taps(), 1);
+}
+
+TEST(StrideDecompose, SubGridCoversOutputs) {
+  // Every phase must provide at least E + K_r - 1 decimated rows.
+  const auto layer = strided(11, 4, 227);
+  const std::int64_t e = layer.out_height();
+  for (const auto& sc : decompose_strided(layer)) {
+    EXPECT_GE(sc.in_rows, e + sc.kernel_rows - 1)
+        << "phase (" << sc.phase_row << "," << sc.phase_col << ")";
+    EXPECT_GE(sc.in_cols, e + sc.kernel_cols - 1);
+  }
+}
+
+TEST(StrideDecompose, MapTapRoundTrip) {
+  const auto layer = strided(11, 4, 227);
+  const auto subs = decompose_strided(layer);
+  for (std::int64_t ky = 0; ky < 11; ++ky) {
+    for (std::int64_t kx = 0; kx < 11; ++kx) {
+      const TapMapping m = map_tap(layer, ky, kx);
+      ASSERT_LT(m.sub_index, static_cast<std::int64_t>(subs.size()));
+      const SubConv& sc = subs[static_cast<std::size_t>(m.sub_index)];
+      EXPECT_EQ(sc.phase_row + layer.stride * m.sub_ky, ky);
+      EXPECT_EQ(sc.phase_col + layer.stride * m.sub_kx, kx);
+      EXPECT_LT(m.sub_ky, sc.kernel_rows);
+      EXPECT_LT(m.sub_kx, sc.kernel_cols);
+    }
+  }
+}
+
+TEST(StrideDecompose, PaddedRowMapping) {
+  EXPECT_EQ(padded_row_of(4, 1, 0), 1);
+  EXPECT_EQ(padded_row_of(4, 1, 3), 13);
+  EXPECT_EQ(padded_row_of(1, 0, 7), 7);
+}
+
+}  // namespace
+}  // namespace chainnn::dataflow

@@ -1,0 +1,103 @@
+#include "energy/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/models.hpp"
+#include "report/paper_constants.hpp"
+
+namespace chainnn::energy {
+namespace {
+
+TEST(EnergyModel, CalibrationReproducesFig10Exactly) {
+  const EnergyModel model = EnergyModel::paper_calibrated();
+  const PowerBreakdown p =
+      model.power(paper_calibration_rates(), 700e6, 576);
+  EXPECT_NEAR(p.chain_w * 1e3, report::kChainPowerMw, 0.01);
+  EXPECT_NEAR(p.kmem_w * 1e3, report::kKmemPowerMw, 0.01);
+  EXPECT_NEAR(p.imem_w * 1e3, report::kImemPowerMw, 0.01);
+  EXPECT_NEAR(p.omem_w * 1e3, report::kOmemPowerMw, 0.01);
+  // Total 567.5 mW (§V.C).
+  EXPECT_NEAR(p.total() * 1e3, 567.5, 0.5);
+}
+
+TEST(EnergyModel, CoreVsHierarchySplitMatchesPaper) {
+  const EnergyModel model = EnergyModel::paper_calibrated();
+  const PowerBreakdown p =
+      model.power(paper_calibration_rates(), 700e6, 576);
+  // §V.C: "around 90% of the power consumption is from the 1D chain
+  // architecture including kMemory while only 10.55% is cost by the
+  // memory hierarchy".
+  EXPECT_NEAR(p.core_only() / p.total(), 0.893, 0.01);
+  EXPECT_NEAR(p.memory_hierarchy() / p.total(), 0.107, 0.01);
+}
+
+TEST(EnergyModel, EfficiencyMatchesPaperHeadline) {
+  const EnergyModel model = EnergyModel::paper_calibrated();
+  const PowerBreakdown p =
+      model.power(paper_calibration_rates(), 700e6, 576);
+  const double peak_ops = 2.0 * 576 * 700e6;
+  EXPECT_NEAR(efficiency_gops_per_w(peak_ops, p.total()),
+              report::kEfficiencyGopsPerW, 15.0);
+  EXPECT_NEAR(efficiency_gops_per_w(peak_ops, p.chain_w),
+              report::kCoreOnlyGopsPerW, 25.0);
+}
+
+TEST(EnergyModel, PowerScalesWithClock) {
+  const EnergyModel model = EnergyModel::paper_calibrated();
+  const ActivityRates r = paper_calibration_rates();
+  const PowerBreakdown p700 = model.power(r, 700e6, 576);
+  const PowerBreakdown p350 = model.power(r, 350e6, 576);
+  // Dynamic power halves; leakage does not.
+  EXPECT_LT(p350.total(), p700.total());
+  EXPECT_GT(p350.total(), 0.45 * p700.total());
+}
+
+TEST(EnergyModel, PowerScalesWithChainSize) {
+  const EnergyModel model = EnergyModel::paper_calibrated();
+  ActivityRates r = paper_calibration_rates();
+  const PowerBreakdown p576 = model.power(r, 700e6, 576);
+  // Same per-PE activity on a double-size chain: chain power ~doubles.
+  r.kmem_accesses_per_cycle *= 2.0;
+  const PowerBreakdown p1152 = model.power(r, 700e6, 1152);
+  EXPECT_NEAR(p1152.chain_w / p576.chain_w, 2.0, 0.01);
+}
+
+TEST(EnergyModel, IdlePEsCostLess) {
+  const EnergyModel model = EnergyModel::paper_calibrated();
+  ActivityRates busy = paper_calibration_rates();
+  ActivityRates idle = busy;
+  idle.active_pe_fraction = 0.5;
+  const double pb = model.power(busy, 700e6, 576).chain_w;
+  const double pi = model.power(idle, 700e6, 576).chain_w;
+  EXPECT_LT(pi, pb);
+  EXPECT_GT(pi, 0.5 * pb);  // idle PEs still leak/clock at 10%
+}
+
+TEST(EnergyModel, EnergyIntegratesPowerOverCycles) {
+  const EnergyModel model = EnergyModel::paper_calibrated();
+  const ActivityRates r = paper_calibration_rates();
+  const double p = model.power(r, 700e6, 576).total();
+  const double e = model.energy_j(r, 700e6, 576, 700000000ULL);
+  EXPECT_NEAR(e, p, 1e-9);  // 1 second worth of cycles
+}
+
+TEST(EnergyModel, RatesFromPlanReasonableForAlexNetConv3) {
+  const auto plan = dataflow::plan_layer(nn::alexnet().conv_layers[2],
+                                         dataflow::ArrayShape{});
+  const ActivityRates r = rates_from_plan(plan);
+  EXPECT_DOUBLE_EQ(r.active_pe_fraction, 1.0);  // 576/576 for K=3
+  // kMemory ~ paper's 2.2% per PE x 576 = ~12.8 accesses/cycle.
+  EXPECT_NEAR(r.kmem_accesses_per_cycle, 0.022 * 576, 3.0);
+  // iMemory: close to 2 words/cycle in steady state.
+  EXPECT_GT(r.imem_accesses_per_cycle, 1.0);
+  EXPECT_LT(r.imem_accesses_per_cycle, 4.1);
+}
+
+TEST(Efficiency, GopsPerWatt) {
+  EXPECT_DOUBLE_EQ(efficiency_gops_per_w(806.4e9, 0.5675),
+                   806.4 / 0.5675);
+  EXPECT_DOUBLE_EQ(efficiency_gops_per_w(1.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace chainnn::energy

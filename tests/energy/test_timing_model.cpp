@@ -1,0 +1,68 @@
+#include "energy/timing_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chainnn::energy {
+namespace {
+
+TEST(TimingModel, ThreeStagesGivePaperCriticalPath) {
+  // §V.B: "pipelined into three stages so that the critical path delay is
+  // reduced to 1.428ns (700MHz)".
+  const TimingModel t;
+  EXPECT_NEAR(t.critical_path_s(3) * 1e9, 1.428, 1e-6);
+  EXPECT_NEAR(t.max_clock_hz(3) / 1e6, 700.3, 0.5);
+}
+
+TEST(TimingModel, PeakThroughputAt3Stages) {
+  const TimingModel t;
+  EXPECT_NEAR(t.peak_ops_per_s(3, 576) / 1e9, 806.4, 1.0);
+}
+
+TEST(TimingModel, DeeperPipelineShortensPath) {
+  const TimingModel t;
+  EXPECT_GT(t.critical_path_s(1), t.critical_path_s(2));
+  EXPECT_GT(t.critical_path_s(2), t.critical_path_s(3));
+  EXPECT_GT(t.critical_path_s(3), t.critical_path_s(6));
+}
+
+TEST(TimingModel, RegisterOverheadBoundsFrequency) {
+  // Even infinite pipelining cannot beat the register overhead.
+  const TimingModel t;
+  const double f_limit = 1.0 / t.register_overhead_s;
+  EXPECT_LT(t.max_clock_hz(64), f_limit);
+  EXPECT_GT(t.max_clock_hz(64), 0.5 * f_limit);
+}
+
+TEST(TimingModel, DiminishingReturns) {
+  // Speedup from 1->2 stages exceeds speedup from 4->5 stages.
+  const TimingModel t;
+  const double gain_12 = t.max_clock_hz(2) / t.max_clock_hz(1);
+  const double gain_45 = t.max_clock_hz(5) / t.max_clock_hz(4);
+  EXPECT_GT(gain_12, gain_45);
+}
+
+TEST(TimingModel, EnergyScaleAnchoredAt3Stages) {
+  const TimingModel t;
+  EXPECT_DOUBLE_EQ(t.pe_energy_scale(3), 1.0);
+  EXPECT_GT(t.pe_energy_scale(5), 1.0);
+  EXPECT_LT(t.pe_energy_scale(1), 1.0);
+}
+
+TEST(TimingModel, InvalidStagesRejected) {
+  const TimingModel t;
+  EXPECT_THROW((void)t.critical_path_s(0), std::logic_error);
+  EXPECT_THROW((void)t.pe_energy_scale(0), std::logic_error);
+}
+
+class StageSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StageSweep, ThroughputMonotoneInStages) {
+  const TimingModel t;
+  const int s = GetParam();
+  EXPECT_GT(t.peak_ops_per_s(s + 1, 576), t.peak_ops_per_s(s, 576));
+}
+
+INSTANTIATE_TEST_SUITE_P(Stages, StageSweep, ::testing::Values(1, 2, 3, 4, 8));
+
+}  // namespace
+}  // namespace chainnn::energy

@@ -1,0 +1,217 @@
+#include "fixed/fixed16.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace chainnn::fixed {
+namespace {
+
+TEST(FixedFormat, ScaleAndRange) {
+  const FixedFormat q8{8};
+  EXPECT_DOUBLE_EQ(q8.scale(), 256.0);
+  EXPECT_DOUBLE_EQ(q8.resolution(), 1.0 / 256.0);
+  EXPECT_DOUBLE_EQ(q8.max_value(), 32767.0 / 256.0);
+  EXPECT_DOUBLE_EQ(q8.min_value(), -128.0);
+  EXPECT_EQ(q8.to_string(), "Q7.8");
+}
+
+TEST(Fixed16, MultiplyIsExact32Bit) {
+  EXPECT_EQ(Fixed16::multiply(Fixed16(32767), Fixed16(32767)),
+            32767 * 32767);
+  EXPECT_EQ(Fixed16::multiply(Fixed16(-32768), Fixed16(-32768)),
+            std::int32_t{1073741824});
+  EXPECT_EQ(Fixed16::multiply(Fixed16(-32768), Fixed16(32767)),
+            -32768 * 32767);
+  EXPECT_EQ(Fixed16::multiply(Fixed16(0), Fixed16(12345)), 0);
+}
+
+TEST(QuantizeScalar, ExactValuesRoundTrip) {
+  const FixedFormat q8{8};
+  EXPECT_EQ(quantize_scalar(1.0, q8, Rounding::kNearestEven,
+                            Overflow::kSaturate),
+            256);
+  EXPECT_EQ(quantize_scalar(-0.5, q8, Rounding::kNearestEven,
+                            Overflow::kSaturate),
+            -128);
+}
+
+TEST(QuantizeScalar, SaturatesAndCounts) {
+  const FixedFormat q8{8};
+  NarrowingStats stats;
+  EXPECT_EQ(quantize_scalar(1e6, q8, Rounding::kNearestEven,
+                            Overflow::kSaturate, &stats),
+            32767);
+  EXPECT_EQ(quantize_scalar(-1e6, q8, Rounding::kNearestEven,
+                            Overflow::kSaturate, &stats),
+            -32768);
+  EXPECT_EQ(stats.saturations, 2u);
+  EXPECT_EQ(stats.count, 2u);
+}
+
+TEST(QuantizeScalar, RoundHalfToEven) {
+  const FixedFormat q0{0};
+  EXPECT_EQ(quantize_scalar(2.5, q0, Rounding::kNearestEven,
+                            Overflow::kSaturate),
+            2);
+  EXPECT_EQ(quantize_scalar(3.5, q0, Rounding::kNearestEven,
+                            Overflow::kSaturate),
+            4);
+  EXPECT_EQ(quantize_scalar(-2.5, q0, Rounding::kNearestEven,
+                            Overflow::kSaturate),
+            -2);
+}
+
+TEST(QuantizeScalar, TruncateIsFloor) {
+  const FixedFormat q0{0};
+  EXPECT_EQ(
+      quantize_scalar(2.9, q0, Rounding::kTruncate, Overflow::kSaturate), 2);
+  EXPECT_EQ(
+      quantize_scalar(-2.1, q0, Rounding::kTruncate, Overflow::kSaturate),
+      -3);
+}
+
+TEST(QuantizeScalar, ErrorBoundedByHalfLsb) {
+  const FixedFormat q8{8};
+  Rng rng(3);
+  NarrowingStats stats;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-100.0, 100.0);
+    (void)quantize_scalar(v, q8, Rounding::kNearestEven, Overflow::kSaturate,
+                          &stats);
+  }
+  EXPECT_EQ(stats.saturations, 0u);
+  EXPECT_LE(stats.max_abs_error, 0.5 / 256.0 + 1e-12);
+}
+
+TEST(ShiftRightRounded, NearestEvenTies) {
+  EXPECT_EQ(shift_right_rounded(6, 2, Rounding::kNearestEven), 2);   // 1.5->2
+  EXPECT_EQ(shift_right_rounded(10, 2, Rounding::kNearestEven), 2);  // 2.5->2
+  EXPECT_EQ(shift_right_rounded(14, 2, Rounding::kNearestEven), 4);  // 3.5->4
+}
+
+TEST(ShiftRightRounded, TruncateIsArithmeticShift) {
+  EXPECT_EQ(shift_right_rounded(-1, 4, Rounding::kTruncate), -1);
+  EXPECT_EQ(shift_right_rounded(-17, 4, Rounding::kTruncate), -2);
+  EXPECT_EQ(shift_right_rounded(17, 4, Rounding::kTruncate), 1);
+}
+
+TEST(ShiftRightRounded, NegativeShiftIsLeftShift) {
+  EXPECT_EQ(shift_right_rounded(3, -4, Rounding::kNearestEven), 48);
+}
+
+TEST(ShiftRightRounded, HugeShiftGoesToSignExtension) {
+  EXPECT_EQ(shift_right_rounded(12345, 63, Rounding::kTruncate), 0);
+  EXPECT_EQ(shift_right_rounded(-12345, 63, Rounding::kTruncate), -1);
+}
+
+TEST(Accumulator48, MacAccumulates) {
+  Accumulator48 acc;
+  acc.mac(Fixed16(256), Fixed16(256));  // 1.0 * 1.0 in Q8.8
+  acc.mac(Fixed16(256), Fixed16(128));  // + 0.5
+  EXPECT_EQ(acc.value(), 256 * 256 + 256 * 128);
+  EXPECT_FALSE(acc.saturated());
+}
+
+TEST(Accumulator48, SaturatesAtBounds) {
+  Accumulator48 acc(Accumulator48::kMax - 5);
+  acc.add(100);
+  EXPECT_EQ(acc.value(), Accumulator48::kMax);
+  EXPECT_TRUE(acc.saturated());
+
+  Accumulator48 neg(Accumulator48::kMin + 5);
+  neg.add(-100);
+  EXPECT_EQ(neg.value(), Accumulator48::kMin);
+  EXPECT_TRUE(neg.saturated());
+}
+
+TEST(Accumulator48, MergePropagatesSaturation) {
+  Accumulator48 a(10);
+  Accumulator48 b(Accumulator48::kMax);
+  b.add(1);
+  ASSERT_TRUE(b.saturated());
+  a.add(b);
+  EXPECT_TRUE(a.saturated());
+}
+
+TEST(Accumulator48, NarrowToOutputFormat) {
+  // 3.0 in Q8.8*Q8.8 product domain (2^16 scale) -> Q7.8 output.
+  Accumulator48 acc(3 * 65536);
+  const std::int16_t out = acc.narrow(FixedFormat{8}, FixedFormat{8},
+                                      Rounding::kNearestEven,
+                                      Overflow::kSaturate);
+  EXPECT_EQ(out, 3 * 256);
+}
+
+TEST(NarrowToFixed16, MixedFormats) {
+  // ifmap Q4, kernel Q10 -> acc has 14 frac bits; value 2.25.
+  const std::int64_t acc = static_cast<std::int64_t>(2.25 * (1 << 14));
+  EXPECT_EQ(narrow_to_fixed16(acc, 14, FixedFormat{8},
+                              Rounding::kNearestEven, Overflow::kSaturate),
+            static_cast<std::int16_t>(2.25 * 256));
+}
+
+TEST(NarrowToFixed16, SaturationCounted) {
+  NarrowingStats stats;
+  (void)narrow_to_fixed16(std::int64_t{1} << 40, 16, FixedFormat{8},
+                          Rounding::kNearestEven, Overflow::kSaturate,
+                          &stats);
+  EXPECT_EQ(stats.saturations, 1u);
+}
+
+TEST(NarrowToFixed16, WrapMode) {
+  // 0x18000 >> 0 with wrap keeps low 16 bits: 0x8000 -> -32768.
+  EXPECT_EQ(narrow_to_fixed16(0x18000, 0, FixedFormat{0},
+                              Rounding::kTruncate, Overflow::kWrap),
+            std::int16_t{-32768});
+}
+
+TEST(NarrowingStats, MergeCombines) {
+  NarrowingStats a, b;
+  a.count = 2;
+  a.saturations = 1;
+  a.max_abs_error = 0.5;
+  a.sum_sq_error = 1.0;
+  b.count = 3;
+  b.max_abs_error = 0.75;
+  b.sum_sq_error = 0.5;
+  a.merge(b);
+  EXPECT_EQ(a.count, 5u);
+  EXPECT_EQ(a.saturations, 1u);
+  EXPECT_DOUBLE_EQ(a.max_abs_error, 0.75);
+  EXPECT_DOUBLE_EQ(a.sum_sq_error, 1.5);
+  EXPECT_DOUBLE_EQ(a.mean_sq_error(), 0.3);
+}
+
+// Property: narrowing then reconstructing stays within half an output LSB
+// whenever no saturation occurs (swept over formats).
+class NarrowProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(NarrowProperty, ErrorWithinHalfLsb) {
+  const int out_frac = GetParam();
+  const FixedFormat out{out_frac};
+  Rng rng(100 + out_frac);
+  for (int i = 0; i < 200; ++i) {
+    const int acc_frac = 16;
+    const double v = rng.uniform(out.min_value() * 0.9,
+                                 out.max_value() * 0.9);
+    const auto acc = static_cast<std::int64_t>(
+        std::llround(v * std::pow(2.0, acc_frac)));
+    NarrowingStats stats;
+    const std::int16_t raw = narrow_to_fixed16(
+        acc, acc_frac, out, Rounding::kNearestEven, Overflow::kSaturate,
+        &stats);
+    EXPECT_EQ(stats.saturations, 0u);
+    const double back = static_cast<double>(raw) / out.scale();
+    const double exact = static_cast<double>(acc) / std::pow(2.0, acc_frac);
+    EXPECT_LE(std::fabs(back - exact), 0.5 / out.scale() + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, NarrowProperty,
+                         ::testing::Values(0, 4, 8, 12, 15));
+
+}  // namespace
+}  // namespace chainnn::fixed

@@ -1,0 +1,109 @@
+#include "fixed/quantize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace chainnn::fixed {
+namespace {
+
+TEST(ChooseFormat, PicksLargestFittingFracBits) {
+  const std::vector<float> small = {0.1f, -0.2f, 0.05f};
+  EXPECT_EQ(choose_format(small, FormatPolicy::kMaxAbs).frac_bits, 15);
+
+  const std::vector<float> ones = {1.0f, -0.5f};
+  // Q1.14 max = 32767/16384 = 1.99994 covers 1.0.
+  EXPECT_EQ(choose_format(ones, FormatPolicy::kMaxAbs).frac_bits, 14);
+
+  const std::vector<float> big = {100.0f};
+  // Needs max >= 100: frac 8 gives 127.996.
+  EXPECT_EQ(choose_format(big, FormatPolicy::kMaxAbs).frac_bits, 8);
+}
+
+TEST(ChooseFormat, AllZeroGetsMaxPrecision) {
+  const std::vector<float> zeros(10, 0.0f);
+  EXPECT_EQ(choose_format(zeros, FormatPolicy::kMaxAbs).frac_bits, 15);
+}
+
+TEST(ChooseFormat, FixedPolicyAlwaysQ8) {
+  const std::vector<float> big = {1000.0f};
+  EXPECT_EQ(choose_format(big, FormatPolicy::kFixedQ8_8).frac_bits, 8);
+}
+
+TEST(Quantize, NoSaturationUnderChosenFormat) {
+  Rng rng(5);
+  std::vector<float> values(1000);
+  for (auto& v : values)
+    v = static_cast<float>(rng.gaussian(0.0, 3.0));
+  const QuantizedTensor q = quantize_auto(values);
+  EXPECT_EQ(q.stats.saturations, 0u);
+  EXPECT_EQ(q.raw.size(), values.size());
+}
+
+TEST(Quantize, DequantizeRoundTripsWithinLsb) {
+  std::vector<float> values = {0.25f, -1.75f, 3.125f};
+  const QuantizedTensor q = quantize_auto(values);
+  const std::vector<double> back = dequantize(q.raw, q.format);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    EXPECT_NEAR(back[i], values[i], q.format.resolution() / 2 + 1e-9);
+}
+
+TEST(Quantize, ExactlyRepresentableValuesAreExact) {
+  // Powers of two are exact in any format that can hold them.
+  std::vector<float> values = {0.5f, 1.0f, 2.0f, -4.0f};
+  const QuantizedTensor q = quantize(values, FixedFormat{10});
+  const std::vector<double> back = dequantize(q.raw, q.format);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    EXPECT_DOUBLE_EQ(back[i], values[i]);
+  EXPECT_DOUBLE_EQ(q.stats.max_abs_error, 0.0);
+}
+
+TEST(Sqnr, InfiniteForExactSignal) {
+  std::vector<float> values = {1.0f, -2.0f};
+  const QuantizedTensor q = quantize(values, FixedFormat{8});
+  EXPECT_TRUE(std::isinf(sqnr_db(values, q.raw, q.format)));
+}
+
+TEST(Sqnr, Around16BitTheoreticalForGaussian) {
+  // 16-bit quantization of a well-scaled signal should land way above
+  // 60 dB (6.02 dB/bit rule of thumb; headroom costs a few bits).
+  Rng rng(6);
+  std::vector<float> values(20000);
+  for (auto& v : values)
+    v = static_cast<float>(rng.gaussian(0.0, 1.0));
+  const QuantizedTensor q = quantize_auto(values);
+  const double db = sqnr_db(values, q.raw, q.format);
+  EXPECT_GT(db, 60.0);
+  EXPECT_LT(db, 110.0);
+}
+
+TEST(Sqnr, MismatchedSizesRejected) {
+  std::vector<float> ref = {1.0f};
+  std::vector<std::int16_t> raw = {1, 2};
+  EXPECT_THROW((void)sqnr_db(ref, raw, FixedFormat{8}), std::logic_error);
+}
+
+// Property sweep: for every format, quantization error is bounded by half
+// an LSB for in-range data.
+class QuantizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizeSweep, ErrorBound) {
+  const FixedFormat fmt{GetParam()};
+  Rng rng(50 + GetParam());
+  std::vector<float> values(500);
+  for (auto& v : values)
+    v = static_cast<float>(
+        rng.uniform(fmt.min_value() * 0.95, fmt.max_value() * 0.95));
+  const QuantizedTensor q = quantize(values, fmt);
+  EXPECT_EQ(q.stats.saturations, 0u);
+  EXPECT_LE(q.stats.max_abs_error, fmt.resolution() / 2 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, QuantizeSweep,
+                         ::testing::Values(0, 2, 5, 8, 11, 15));
+
+}  // namespace
+}  // namespace chainnn::fixed

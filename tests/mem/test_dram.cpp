@@ -1,0 +1,46 @@
+#include "mem/dram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chainnn::mem {
+namespace {
+
+TEST(Dram, PerOperandCounting) {
+  DramModel d;
+  d.read_bytes(Operand::kIfmap, 100);
+  d.read_bytes(Operand::kKernel, 50);
+  d.write_bytes(Operand::kOfmap, 25);
+  EXPECT_EQ(d.stats().read_bytes[static_cast<int>(Operand::kIfmap)], 100u);
+  EXPECT_EQ(d.stats().read_bytes[static_cast<int>(Operand::kKernel)], 50u);
+  EXPECT_EQ(d.stats().write_bytes[static_cast<int>(Operand::kOfmap)], 25u);
+  EXPECT_EQ(d.stats().total_read_bytes(), 150u);
+  EXPECT_EQ(d.stats().total_write_bytes(), 25u);
+  EXPECT_EQ(d.stats().total_bytes(), 175u);
+}
+
+TEST(Dram, OperandNames) {
+  EXPECT_STREQ(operand_name(Operand::kIfmap), "ifmap");
+  EXPECT_STREQ(operand_name(Operand::kKernel), "kernel");
+  EXPECT_STREQ(operand_name(Operand::kOfmap), "ofmap");
+  EXPECT_STREQ(operand_name(Operand::kPsum), "psum");
+}
+
+TEST(Dram, StatsMerge) {
+  DramStats a, b;
+  a.read_bytes[0] = 1;
+  b.read_bytes[0] = 2;
+  b.write_bytes[3] = 5;
+  a.merge(b);
+  EXPECT_EQ(a.read_bytes[0], 3u);
+  EXPECT_EQ(a.write_bytes[3], 5u);
+}
+
+TEST(Dram, ResetStats) {
+  DramModel d;
+  d.read_bytes(Operand::kIfmap, 10);
+  d.reset_stats();
+  EXPECT_EQ(d.stats().total_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace chainnn::mem

@@ -1,0 +1,61 @@
+#include "mem/sram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chainnn::mem {
+namespace {
+
+TEST(Sram, CountsAccessesAndBytes) {
+  SramModel m("iMemory", 32 * 1024, 2);
+  m.read_words(10);
+  m.write_words(3);
+  EXPECT_EQ(m.stats().reads, 10u);
+  EXPECT_EQ(m.stats().writes, 3u);
+  EXPECT_EQ(m.stats().read_bytes, 20u);
+  EXPECT_EQ(m.stats().write_bytes, 6u);
+  EXPECT_EQ(m.stats().total_bytes(), 26u);
+}
+
+TEST(Sram, CapacityReservation) {
+  SramModel m("oMemory", 100, 2);
+  m.reserve(60);
+  EXPECT_EQ(m.reserved_bytes(), 60u);
+  EXPECT_EQ(m.free_bytes(), 40u);
+  EXPECT_THROW(m.reserve(41), std::logic_error);
+  m.release(60);
+  EXPECT_NO_THROW(m.reserve(100));
+}
+
+TEST(Sram, ReleaseMoreThanReservedRejected) {
+  SramModel m("x", 100);
+  m.reserve(10);
+  EXPECT_THROW(m.release(11), std::logic_error);
+}
+
+TEST(Sram, ActivityFactor) {
+  SramModel m("kMemory", 295 * 1024, 2);
+  m.read_words(22);
+  EXPECT_DOUBLE_EQ(m.activity_factor(1000), 0.022);
+  EXPECT_DOUBLE_EQ(m.activity_factor(0), 0.0);
+}
+
+TEST(Sram, ResetStats) {
+  SramModel m("x", 100);
+  m.read_words(5);
+  m.reset_stats();
+  EXPECT_EQ(m.stats().reads, 0u);
+  EXPECT_EQ(m.stats().total_bytes(), 0u);
+}
+
+TEST(SramStats, Merge) {
+  SramStats a{1, 2, 2, 4};
+  SramStats b{10, 20, 20, 40};
+  a.merge(b);
+  EXPECT_EQ(a.reads, 11u);
+  EXPECT_EQ(a.writes, 22u);
+  EXPECT_EQ(a.read_bytes, 22u);
+  EXPECT_EQ(a.write_bytes, 44u);
+}
+
+}  // namespace
+}  // namespace chainnn::mem

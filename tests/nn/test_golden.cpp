@@ -1,0 +1,150 @@
+#include "nn/golden.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "fixed/quantize.hpp"
+
+namespace chainnn::nn {
+namespace {
+
+ConvLayerParams tiny() {
+  ConvLayerParams p;
+  p.name = "tiny";
+  p.in_channels = 1;
+  p.out_channels = 1;
+  p.in_height = p.in_width = 4;
+  p.kernel = 3;
+  return p;
+}
+
+TEST(GoldenFloat, HandComputed3x3) {
+  const ConvLayerParams p = tiny();
+  Tensor<float> x(Shape{1, 1, 4, 4});
+  for (std::int64_t i = 0; i < 16; ++i)
+    x.at_flat(i) = static_cast<float>(i);
+  Tensor<float> w(Shape{1, 1, 3, 3}, 1.0f);  // box filter
+  const Tensor<float> y = conv2d_float(p, x, w);
+  ASSERT_EQ(y.shape(), Shape({1, 1, 2, 2}));
+  // Sum of the 3x3 window starting at (0,0): rows 0-2, cols 0-2.
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 0 + 1 + 2 + 4 + 5 + 6 + 8 + 9 + 10);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 5 + 6 + 7 + 9 + 10 + 11 + 13 + 14 + 15);
+}
+
+TEST(GoldenFloat, IdentityKernelReproducesInput) {
+  ConvLayerParams p = tiny();
+  p.pad = 1;
+  Rng rng(1);
+  Tensor<float> x(Shape{1, 1, 4, 4});
+  x.fill_random(rng, -1.0, 1.0);
+  Tensor<float> w(Shape{1, 1, 3, 3}, 0.0f);
+  w.at(0, 0, 1, 1) = 1.0f;  // centre tap
+  const Tensor<float> y = conv2d_float(p, x, w);
+  ASSERT_EQ(y.shape(), x.shape());
+  EXPECT_DOUBLE_EQ(max_abs_diff(x, y), 0.0);
+}
+
+TEST(GoldenFloat, BiasAdded) {
+  const ConvLayerParams p = tiny();
+  Tensor<float> x(Shape{1, 1, 4, 4}, 0.0f);
+  Tensor<float> w(Shape{1, 1, 3, 3}, 1.0f);
+  Tensor<float> bias(Shape{1}, 2.5f);
+  const Tensor<float> y = conv2d_float(p, x, w, &bias);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 2.5f);
+}
+
+TEST(GoldenFloat, StrideSkipsPositions) {
+  ConvLayerParams p = tiny();
+  p.in_height = p.in_width = 5;
+  p.stride = 2;
+  Tensor<float> x(Shape{1, 1, 5, 5});
+  for (std::int64_t i = 0; i < 25; ++i)
+    x.at_flat(i) = static_cast<float>(i);
+  Tensor<float> w(Shape{1, 1, 3, 3}, 0.0f);
+  w.at(0, 0, 0, 0) = 1.0f;  // top-left tap picks x[oy*2][ox*2]
+  const Tensor<float> y = conv2d_float(p, x, w);
+  ASSERT_EQ(y.shape(), Shape({1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 0), 10.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 12.0f);
+}
+
+TEST(GoldenFloat, GroupsIsolateChannels) {
+  ConvLayerParams p = tiny();
+  p.in_channels = 2;
+  p.out_channels = 2;
+  p.groups = 2;
+  Tensor<float> x(Shape{1, 2, 4, 4}, 0.0f);
+  // Put energy only in channel 1.
+  for (std::int64_t r = 0; r < 4; ++r)
+    for (std::int64_t c = 0; c < 4; ++c) x.at(0, 1, r, c) = 1.0f;
+  Tensor<float> w(Shape{2, 1, 3, 3}, 1.0f);
+  const Tensor<float> y = conv2d_float(p, x, w);
+  // Output channel 0 reads only input channel 0 (all zero).
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1, 0, 0), 9.0f);
+}
+
+TEST(GoldenFixed, MatchesFloatForExactValues) {
+  // Integer-valued data in Q8.8 is exact, so fixed and float agree.
+  ConvLayerParams p = tiny();
+  p.in_channels = 2;
+  Rng rng(2);
+  Tensor<std::int16_t> x(Shape{1, 2, 4, 4});
+  Tensor<std::int16_t> w(Shape{1, 2, 3, 3});
+  x.fill_random(rng, -4 * 256, 4 * 256);
+  w.fill_random(rng, -256, 256);
+
+  const fixed::FixedFormat q8{8};
+  const FixedConvResult res =
+      conv2d_fixed(p, x, w, q8, q8, q8, nullptr, fixed::Rounding::kNearestEven);
+
+  Tensor<float> xf(Shape{1, 2, 4, 4});
+  Tensor<float> wf(Shape{1, 2, 3, 3});
+  for (std::int64_t i = 0; i < x.num_elements(); ++i)
+    xf.at_flat(i) = static_cast<float>(x.at_flat(i)) / 256.0f;
+  for (std::int64_t i = 0; i < w.num_elements(); ++i)
+    wf.at_flat(i) = static_cast<float>(w.at_flat(i)) / 256.0f;
+  const Tensor<float> yf = conv2d_float(p, xf, wf);
+
+  for (std::int64_t i = 0; i < yf.num_elements(); ++i) {
+    const double got =
+        static_cast<double>(res.ofmaps.at_flat(i)) / 256.0;
+    EXPECT_NEAR(got, yf.at_flat(i), 0.5 / 256.0 + 1e-9);
+  }
+}
+
+TEST(GoldenFixed, AccumulatorIsExactProductSum) {
+  const ConvLayerParams p = tiny();
+  Tensor<std::int16_t> x(Shape{1, 1, 4, 4}, std::int16_t{3});
+  Tensor<std::int16_t> w(Shape{1, 1, 3, 3}, std::int16_t{-2});
+  const Tensor<std::int64_t> acc = conv2d_fixed_accum(p, x, w);
+  for (std::int64_t i = 0; i < acc.num_elements(); ++i)
+    EXPECT_EQ(acc.at_flat(i), 9 * 3 * -2);
+}
+
+TEST(GoldenFixed, BiasAlignedBeforeNarrow) {
+  const ConvLayerParams p = tiny();
+  Tensor<std::int16_t> x(Shape{1, 1, 4, 4}, std::int16_t{0});
+  Tensor<std::int16_t> w(Shape{1, 1, 3, 3}, std::int16_t{0});
+  Tensor<std::int16_t> bias(Shape{1}, std::int16_t{77});
+  const fixed::FixedFormat q8{8};
+  const FixedConvResult res = conv2d_fixed(p, x, w, q8, q8, q8, &bias);
+  for (std::int64_t i = 0; i < res.ofmaps.num_elements(); ++i)
+    EXPECT_EQ(res.ofmaps.at_flat(i), 77);
+}
+
+TEST(GoldenFixed, NarrowingSaturationReported) {
+  const ConvLayerParams p = tiny();
+  Tensor<std::int16_t> x(Shape{1, 1, 4, 4}, std::int16_t{32767});
+  Tensor<std::int16_t> w(Shape{1, 1, 3, 3}, std::int16_t{32767});
+  const fixed::FixedFormat q8{8};
+  const FixedConvResult res = conv2d_fixed(p, x, w, q8, q8, q8);
+  EXPECT_GT(res.narrowing.saturations, 0u);
+  for (std::int64_t i = 0; i < res.ofmaps.num_elements(); ++i)
+    EXPECT_EQ(res.ofmaps.at_flat(i), 32767);
+}
+
+}  // namespace
+}  // namespace chainnn::nn

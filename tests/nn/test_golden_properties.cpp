@@ -1,0 +1,186 @@
+// Mathematical properties of the golden convolution models. These are
+// oracle-strengthening tests: properties that hold for any correct
+// convolution, checked on randomized data, independent of any particular
+// expected-value computation.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/golden.hpp"
+
+namespace chainnn::nn {
+namespace {
+
+ConvLayerParams layer_k3(std::int64_t hw = 8, std::int64_t pad = 0) {
+  ConvLayerParams p;
+  p.name = "prop";
+  p.in_channels = 2;
+  p.out_channels = 2;
+  p.in_height = p.in_width = hw;
+  p.kernel = 3;
+  p.pad = pad;
+  p.validate();
+  return p;
+}
+
+TEST(GoldenProperties, LinearityInIfmaps) {
+  // conv(x1 + x2, w) == conv(x1, w) + conv(x2, w) for the exact wide
+  // accumulators (integer arithmetic, no rounding inside).
+  const ConvLayerParams p = layer_k3();
+  Rng rng(1);
+  Tensor<std::int16_t> x1(Shape{1, 2, 8, 8});
+  Tensor<std::int16_t> x2(Shape{1, 2, 8, 8});
+  Tensor<std::int16_t> w(Shape{2, 2, 3, 3});
+  x1.fill_random(rng, -50, 50);
+  x2.fill_random(rng, -50, 50);
+  w.fill_random(rng, -10, 10);
+
+  Tensor<std::int16_t> sum(Shape{1, 2, 8, 8});
+  for (std::int64_t i = 0; i < sum.num_elements(); ++i)
+    sum.at_flat(i) =
+        static_cast<std::int16_t>(x1.at_flat(i) + x2.at_flat(i));
+
+  const auto y1 = conv2d_fixed_accum(p, x1, w);
+  const auto y2 = conv2d_fixed_accum(p, x2, w);
+  const auto ys = conv2d_fixed_accum(p, sum, w);
+  for (std::int64_t i = 0; i < ys.num_elements(); ++i)
+    EXPECT_EQ(ys.at_flat(i), y1.at_flat(i) + y2.at_flat(i)) << i;
+}
+
+TEST(GoldenProperties, LinearityInKernels) {
+  const ConvLayerParams p = layer_k3();
+  Rng rng(2);
+  Tensor<std::int16_t> x(Shape{1, 2, 8, 8});
+  Tensor<std::int16_t> w1(Shape{2, 2, 3, 3});
+  Tensor<std::int16_t> w2(Shape{2, 2, 3, 3});
+  x.fill_random(rng, -50, 50);
+  w1.fill_random(rng, -8, 8);
+  w2.fill_random(rng, -8, 8);
+
+  Tensor<std::int16_t> ws(Shape{2, 2, 3, 3});
+  for (std::int64_t i = 0; i < ws.num_elements(); ++i)
+    ws.at_flat(i) =
+        static_cast<std::int16_t>(w1.at_flat(i) + w2.at_flat(i));
+
+  const auto y1 = conv2d_fixed_accum(p, x, w1);
+  const auto y2 = conv2d_fixed_accum(p, x, w2);
+  const auto ys = conv2d_fixed_accum(p, x, ws);
+  for (std::int64_t i = 0; i < ys.num_elements(); ++i)
+    EXPECT_EQ(ys.at_flat(i), y1.at_flat(i) + y2.at_flat(i)) << i;
+}
+
+TEST(GoldenProperties, NegationFlipsSign) {
+  const ConvLayerParams p = layer_k3(7, 1);
+  Rng rng(3);
+  Tensor<std::int16_t> x(Shape{1, 2, 7, 7});
+  Tensor<std::int16_t> w(Shape{2, 2, 3, 3});
+  x.fill_random(rng, -60, 60);
+  w.fill_random(rng, -12, 12);
+
+  Tensor<std::int16_t> xn(Shape{1, 2, 7, 7});
+  for (std::int64_t i = 0; i < x.num_elements(); ++i)
+    xn.at_flat(i) = static_cast<std::int16_t>(-x.at_flat(i));
+
+  const auto y = conv2d_fixed_accum(p, x, w);
+  const auto yn = conv2d_fixed_accum(p, xn, w);
+  for (std::int64_t i = 0; i < y.num_elements(); ++i)
+    EXPECT_EQ(yn.at_flat(i), -y.at_flat(i));
+}
+
+TEST(GoldenProperties, TranslationEquivariance) {
+  // Shifting the (unpadded) input by one pixel shifts the output by one
+  // pixel on the overlapping interior.
+  ConvLayerParams p = layer_k3(10);
+  p.in_channels = 1;
+  p.out_channels = 1;
+  Rng rng(4);
+  Tensor<std::int16_t> x(Shape{1, 1, 10, 10});
+  Tensor<std::int16_t> w(Shape{1, 1, 3, 3});
+  x.fill_random(rng, -40, 40);
+  w.fill_random(rng, -10, 10);
+
+  Tensor<std::int16_t> xs(Shape{1, 1, 10, 10});  // shift down-right by 1
+  for (std::int64_t r = 1; r < 10; ++r)
+    for (std::int64_t c = 1; c < 10; ++c)
+      xs.at(0, 0, r, c) = x.at(0, 0, r - 1, c - 1);
+
+  const auto y = conv2d_fixed_accum(p, x, w);
+  const auto ys = conv2d_fixed_accum(p, xs, w);
+  for (std::int64_t r = 1; r < 8; ++r)
+    for (std::int64_t c = 1; c < 8; ++c)
+      EXPECT_EQ(ys.at(0, 0, r, c), y.at(0, 0, r - 1, c - 1))
+          << r << "," << c;
+}
+
+TEST(GoldenProperties, PaddedConvRestrictsToUnpadded) {
+  // The interior of a pad-1 conv equals the unpadded conv.
+  const ConvLayerParams unpadded = layer_k3(9, 0);
+  const ConvLayerParams padded = layer_k3(9, 1);
+  Rng rng(5);
+  Tensor<std::int16_t> x(Shape{1, 2, 9, 9});
+  Tensor<std::int16_t> w(Shape{2, 2, 3, 3});
+  x.fill_random(rng, -30, 30);
+  w.fill_random(rng, -6, 6);
+
+  const auto yu = conv2d_fixed_accum(unpadded, x, w);  // 7x7
+  const auto yp = conv2d_fixed_accum(padded, x, w);    // 9x9
+  for (std::int64_t m = 0; m < 2; ++m)
+    for (std::int64_t r = 0; r < 7; ++r)
+      for (std::int64_t c = 0; c < 7; ++c)
+        EXPECT_EQ(yp.at(0, m, r + 1, c + 1), yu.at(0, m, r, c));
+}
+
+TEST(GoldenProperties, StrideSubsamplesDenseConv) {
+  // A stride-2 conv equals every other output of the stride-1 conv.
+  ConvLayerParams dense = layer_k3(11);
+  ConvLayerParams strided = dense;
+  strided.stride = 2;
+  Rng rng(6);
+  Tensor<std::int16_t> x(Shape{1, 2, 11, 11});
+  Tensor<std::int16_t> w(Shape{2, 2, 3, 3});
+  x.fill_random(rng, -30, 30);
+  w.fill_random(rng, -6, 6);
+
+  const auto yd = conv2d_fixed_accum(dense, x, w);
+  const auto ys = conv2d_fixed_accum(strided, x, w);
+  for (std::int64_t m = 0; m < 2; ++m)
+    for (std::int64_t r = 0; r < strided.out_height(); ++r)
+      for (std::int64_t c = 0; c < strided.out_width(); ++c)
+        EXPECT_EQ(ys.at(0, m, r, c), yd.at(0, m, 2 * r, 2 * c));
+}
+
+TEST(GoldenProperties, GroupedConvEqualsPerGroupConvs) {
+  // A 2-group conv equals two independent convs on the channel halves.
+  ConvLayerParams grouped = layer_k3(8);
+  grouped.in_channels = 4;
+  grouped.out_channels = 4;
+  grouped.groups = 2;
+  Rng rng(7);
+  Tensor<std::int16_t> x(Shape{1, 4, 8, 8});
+  Tensor<std::int16_t> w(Shape{4, 2, 3, 3});
+  x.fill_random(rng, -30, 30);
+  w.fill_random(rng, -6, 6);
+
+  const auto yg = conv2d_fixed_accum(grouped, x, w);
+
+  ConvLayerParams half = layer_k3(8);
+  half.in_channels = 2;
+  half.out_channels = 2;
+  for (std::int64_t g = 0; g < 2; ++g) {
+    Tensor<std::int16_t> xh(Shape{1, 2, 8, 8});
+    Tensor<std::int16_t> wh(Shape{2, 2, 3, 3});
+    for (std::int64_t c = 0; c < 2; ++c)
+      for (std::int64_t r = 0; r < 8; ++r)
+        for (std::int64_t cc = 0; cc < 8; ++cc)
+          xh.at(0, c, r, cc) = x.at(0, g * 2 + c, r, cc);
+    for (std::int64_t i = 0; i < wh.num_elements(); ++i)
+      wh.at_flat(i) = w.at_flat(g * wh.num_elements() + i);
+    const auto yh = conv2d_fixed_accum(half, xh, wh);
+    for (std::int64_t m = 0; m < 2; ++m)
+      for (std::int64_t r = 0; r < 6; ++r)
+        for (std::int64_t c = 0; c < 6; ++c)
+          EXPECT_EQ(yg.at(0, g * 2 + m, r, c), yh.at(0, m, r, c));
+  }
+}
+
+}  // namespace
+}  // namespace chainnn::nn

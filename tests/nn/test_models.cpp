@@ -1,0 +1,94 @@
+#include "nn/models.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chainnn::nn {
+namespace {
+
+TEST(Models, AlexNetHasFiveConvLayers) {
+  const NetworkModel net = alexnet();
+  ASSERT_EQ(net.conv_layers.size(), 5u);
+  for (const auto& l : net.conv_layers) l.validate();
+}
+
+TEST(Models, AlexNetMacsMatchPaper666M) {
+  // §V.B: "totally 666 millions of MACs per 227x227 input image".
+  const std::int64_t macs = alexnet().macs_per_image();
+  EXPECT_EQ(macs, 665784864);  // rounds to 666M
+  EXPECT_NEAR(static_cast<double>(macs) / 1e6, 666.0, 1.0);
+}
+
+TEST(Models, AlexNetLayerGeometry) {
+  const auto layers = alexnet().conv_layers;
+  EXPECT_EQ(layers[0].out_height(), 55);  // conv1: 227, K11, S4
+  EXPECT_EQ(layers[1].out_height(), 27);  // conv2: 27 + pad 2, K5
+  EXPECT_EQ(layers[2].out_height(), 13);
+  EXPECT_EQ(layers[3].out_height(), 13);
+  EXPECT_EQ(layers[4].out_height(), 13);
+  EXPECT_EQ(layers[1].groups, 2);
+  EXPECT_EQ(layers[3].groups, 2);
+  EXPECT_EQ(layers[4].groups, 2);
+  EXPECT_EQ(layers[0].kernel, 11);
+  EXPECT_EQ(layers[1].kernel, 5);
+  EXPECT_EQ(layers[2].kernel, 3);
+}
+
+TEST(Models, AlexNetKernelWordCounts) {
+  // These drive the Fig. 9 kernel-load times (1 word/cycle).
+  const auto layers = alexnet().conv_layers;
+  EXPECT_EQ(layers[0].weight_count(), 34848);    // 96*3*121
+  EXPECT_EQ(layers[1].weight_count(), 307200);   // 256*48*25
+  EXPECT_EQ(layers[2].weight_count(), 884736);   // 384*256*9
+  EXPECT_EQ(layers[3].weight_count(), 663552);   // 384*192*9
+  EXPECT_EQ(layers[4].weight_count(), 442368);   // 256*192*9
+}
+
+TEST(Models, Vgg16ThirteenLayersAllK3) {
+  const NetworkModel net = vgg16();
+  ASSERT_EQ(net.conv_layers.size(), 13u);
+  for (const auto& l : net.conv_layers) {
+    l.validate();
+    EXPECT_EQ(l.kernel, 3);
+    EXPECT_EQ(l.stride, 1);
+    EXPECT_EQ(l.pad, 1);
+    EXPECT_EQ(l.out_height(), l.in_height);  // same-padding
+  }
+  // VGG-16 conv MACs ~ 15.3 GMAC per 224x224 image.
+  EXPECT_NEAR(static_cast<double>(net.macs_per_image()) / 1e9, 15.3, 0.3);
+}
+
+TEST(Models, LenetShapesChain) {
+  const NetworkModel net = lenet_mnist();
+  ASSERT_EQ(net.conv_layers.size(), 4u);
+  EXPECT_EQ(net.conv_layers[0].out_height(), 24);
+  EXPECT_EQ(net.conv_layers[1].out_height(), 8);
+  EXPECT_EQ(net.conv_layers[2].out_height(), 1);
+  EXPECT_EQ(net.conv_layers[3].kernel, 1);
+  for (const auto& l : net.conv_layers) l.validate();
+}
+
+TEST(Models, Cifar10Shapes) {
+  const NetworkModel net = cifar10_quick();
+  ASSERT_EQ(net.conv_layers.size(), 3u);
+  for (const auto& l : net.conv_layers) {
+    l.validate();
+    EXPECT_EQ(l.kernel, 5);
+  }
+}
+
+TEST(Models, ZooContainsAllFour) {
+  const auto zoo = model_zoo();
+  ASSERT_EQ(zoo.size(), 4u);
+  EXPECT_EQ(zoo[0].name, "lenet");
+  EXPECT_EQ(zoo[3].name, "vgg16");
+}
+
+TEST(Models, LookupByName) {
+  EXPECT_EQ(model_by_name("alexnet").name, "alexnet");
+  EXPECT_EQ(model_by_name("mnist").name, "lenet");
+  EXPECT_EQ(model_by_name("cifar").name, "cifar10");
+  EXPECT_THROW((void)model_by_name("resnet"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace chainnn::nn

@@ -1,0 +1,104 @@
+#include "nn/sparsity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/layers.hpp"
+
+namespace chainnn::nn {
+namespace {
+
+ConvLayerParams tiny() {
+  ConvLayerParams p;
+  p.name = "t";
+  p.in_channels = 2;
+  p.out_channels = 3;
+  p.in_height = p.in_width = 6;
+  p.kernel = 3;
+  return p;
+}
+
+TEST(Sparsity, DenseTensorsHaveNoZeroMacs) {
+  const ConvLayerParams p = tiny();
+  Tensor<std::int16_t> x(Shape{1, 2, 6, 6}, std::int16_t{1});
+  Tensor<std::int16_t> w(Shape{3, 2, 3, 3}, std::int16_t{2});
+  const ZeroMacStats s = count_zero_macs(p, x, w);
+  EXPECT_EQ(s.total_macs, p.macs_per_image());
+  EXPECT_EQ(s.zero_macs, 0);
+  EXPECT_DOUBLE_EQ(s.zero_fraction(), 0.0);
+}
+
+TEST(Sparsity, AllZeroIfmapsMakeEveryMacZero) {
+  const ConvLayerParams p = tiny();
+  Tensor<std::int16_t> x(Shape{1, 2, 6, 6}, std::int16_t{0});
+  Tensor<std::int16_t> w(Shape{3, 2, 3, 3}, std::int16_t{2});
+  const ZeroMacStats s = count_zero_macs(p, x, w);
+  EXPECT_EQ(s.zero_macs, s.total_macs);
+  EXPECT_EQ(s.zero_ifmap_macs, s.total_macs);
+  EXPECT_EQ(s.zero_kernel_macs, 0);
+}
+
+TEST(Sparsity, PaddingTapsNotCounted) {
+  ConvLayerParams p = tiny();
+  p.pad = 1;
+  Tensor<std::int16_t> x(Shape{1, 2, 6, 6}, std::int16_t{1});
+  Tensor<std::int16_t> w(Shape{3, 2, 3, 3}, std::int16_t{1});
+  const ZeroMacStats s = count_zero_macs(p, x, w);
+  // Padded conv of a 6x6 input: real taps < E*E*K*K per channel.
+  EXPECT_LT(s.total_macs, p.macs_per_image());
+  EXPECT_EQ(s.zero_macs, 0);
+}
+
+TEST(Sparsity, ReluProducesRoughlyHalfZeros) {
+  Rng rng(9);
+  Tensor<std::int16_t> t(Shape{10000});
+  t.fill_random(rng, -100, 100);
+  relu_inplace(t);
+  const double frac = zero_element_fraction(t);
+  EXPECT_GT(frac, 0.45);
+  EXPECT_LT(frac, 0.55);
+}
+
+TEST(Sparsity, InjectHitsTargetFraction) {
+  Rng rng(10);
+  Tensor<std::int16_t> t(Shape{20000});
+  t.fill_random(rng, 1, 100);  // no natural zeros
+  inject_sparsity(t, 0.3, 42);
+  EXPECT_NEAR(zero_element_fraction(t), 0.3, 0.02);
+}
+
+TEST(Sparsity, InjectZeroAndOneFractions) {
+  Rng rng(11);
+  Tensor<std::int16_t> t(Shape{100});
+  t.fill_random(rng, 1, 10);
+  inject_sparsity(t, 0.0, 1);
+  EXPECT_DOUBLE_EQ(zero_element_fraction(t), 0.0);
+  inject_sparsity(t, 1.0, 1);
+  EXPECT_DOUBLE_EQ(zero_element_fraction(t), 1.0);
+}
+
+TEST(Sparsity, InjectIsDeterministicPerSeed) {
+  Rng rng(12);
+  Tensor<std::int16_t> a(Shape{500});
+  a.fill_random(rng, 1, 10);
+  Tensor<std::int16_t> b = a;
+  inject_sparsity(a, 0.5, 7);
+  inject_sparsity(b, 0.5, 7);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Sparsity, ZeroFractionTracksInjectedIfmapSparsity) {
+  ConvLayerParams p = tiny();
+  p.in_height = p.in_width = 16;  // enough pixels for tight statistics
+  Rng rng(13);
+  Tensor<std::int16_t> x(Shape{1, 2, 16, 16});
+  Tensor<std::int16_t> w(Shape{3, 2, 3, 3});
+  x.fill_random(rng, 1, 50);
+  w.fill_random(rng, 1, 10);
+  inject_sparsity(x, 0.4, 3);
+  const ZeroMacStats s = count_zero_macs(p, x, w);
+  EXPECT_NEAR(s.zero_fraction(), 0.4, 0.05);
+}
+
+}  // namespace
+}  // namespace chainnn::nn

@@ -1,0 +1,40 @@
+#include "report/comparison.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chainnn::report {
+namespace {
+
+TEST(Comparison, RendersPaperAndMeasured) {
+  ComparisonTable t("Fig. 9", "time (ms)");
+  t.add("conv1", 159.30, 160.0);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("conv1"), std::string::npos);
+  EXPECT_NE(out.find("159.30"), std::string::npos);
+  EXPECT_NE(out.find("160.00"), std::string::npos);
+  EXPECT_NE(out.find("1.004"), std::string::npos);
+}
+
+TEST(Comparison, MeasuredOnlyRowShowsDash) {
+  ComparisonTable t("x", "v");
+  t.add_measured_only("extra", 5.0);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("extra"), std::string::npos);
+  EXPECT_NE(out.find(" - "), std::string::npos);
+}
+
+TEST(Comparison, WorstRelativeError) {
+  ComparisonTable t("x", "v");
+  t.add("a", 100.0, 110.0);   // +10%
+  t.add("b", 100.0, 95.0);    // -5%
+  t.add_measured_only("c", 1e9);  // ignored
+  EXPECT_NEAR(t.worst_relative_error(), 0.10, 1e-12);
+}
+
+TEST(Comparison, EmptyTableZeroError) {
+  ComparisonTable t("x", "v");
+  EXPECT_DOUBLE_EQ(t.worst_relative_error(), 0.0);
+}
+
+}  // namespace
+}  // namespace chainnn::report

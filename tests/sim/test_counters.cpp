@@ -1,0 +1,50 @@
+#include "sim/counters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chainnn::sim {
+namespace {
+
+TEST(Counters, StartAtZero) {
+  Counters c;
+  EXPECT_EQ(c.get("anything"), 0u);
+}
+
+TEST(Counters, HandleIncrement) {
+  Counters c;
+  const auto h = c.handle("macs");
+  c.add(h);
+  c.add(h, 10);
+  EXPECT_EQ(c.get("macs"), 11u);
+  EXPECT_EQ(c.get(h), 11u);
+}
+
+TEST(Counters, HandleIsStable) {
+  Counters c;
+  const auto h1 = c.handle("x");
+  const auto h2 = c.handle("x");
+  c.add(h1);
+  c.add(h2);
+  EXPECT_EQ(c.get("x"), 2u);
+}
+
+TEST(Counters, SnapshotSortedByName) {
+  Counters c;
+  c.add(c.handle("b"), 2);
+  c.add(c.handle("a"), 1);
+  const auto snap = c.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap.begin()->first, "a");
+  EXPECT_EQ(snap.at("a"), 1u);
+  EXPECT_EQ(snap.at("b"), 2u);
+}
+
+TEST(Counters, ResetZeroesAll) {
+  Counters c;
+  c.add(c.handle("x"), 5);
+  c.reset();
+  EXPECT_EQ(c.get("x"), 0u);
+}
+
+}  // namespace
+}  // namespace chainnn::sim

@@ -1,0 +1,102 @@
+#include "sim/register.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chainnn::sim {
+namespace {
+
+TEST(Register, HoldsUntilCommit) {
+  Register<int> r(0);
+  r.set_next(5);
+  EXPECT_EQ(r.get(), 0);  // visible value unchanged before commit
+  r.commit();
+  EXPECT_EQ(r.get(), 5);
+}
+
+TEST(Register, HoldsValueWithoutSetNext) {
+  Register<int> r(7);
+  r.commit();
+  EXPECT_EQ(r.get(), 7);
+}
+
+TEST(Register, Reset) {
+  Register<int> r(1);
+  r.set_next(9);
+  r.reset(3);
+  r.commit();
+  EXPECT_EQ(r.get(), 3);
+}
+
+TEST(ShiftChain, DelaysByTapDepth) {
+  ShiftChain<int> ch(3, 0);
+  ch.shift(1);
+  ch.shift(2);
+  ch.shift(3);
+  EXPECT_EQ(ch.tap(0), 3);  // one delay
+  EXPECT_EQ(ch.tap(1), 2);
+  EXPECT_EQ(ch.tap(2), 1);
+}
+
+TEST(ShiftChain, DropsOldestValue) {
+  ShiftChain<int> ch(2, 0);
+  ch.shift(1);
+  ch.shift(2);
+  ch.shift(3);
+  EXPECT_EQ(ch.tap(0), 3);
+  EXPECT_EQ(ch.tap(1), 2);  // value 1 fell off the end
+}
+
+TEST(ShiftChain, TapBoundsChecked) {
+  ShiftChain<int> ch(2, 0);
+  EXPECT_THROW((void)ch.tap(2), std::logic_error);
+}
+
+TEST(ShiftChain, ResetClears) {
+  ShiftChain<int> ch(2, 0);
+  ch.shift(5);
+  ch.reset(0);
+  EXPECT_EQ(ch.tap(0), 0);
+  EXPECT_EQ(ch.tap(1), 0);
+}
+
+TEST(DelayLine, ZeroLatencyPassThrough) {
+  DelayLine<int> d(0);
+  EXPECT_EQ(d.step(42), 42);
+}
+
+TEST(DelayLine, FixedLatency) {
+  DelayLine<int> d(3, 0);
+  EXPECT_EQ(d.step(1), 0);
+  EXPECT_EQ(d.step(2), 0);
+  EXPECT_EQ(d.step(3), 0);
+  EXPECT_EQ(d.step(4), 1);
+  EXPECT_EQ(d.step(5), 2);
+}
+
+TEST(DelayLine, ResetRefills) {
+  DelayLine<int> d(2, 0);
+  (void)d.step(1);
+  d.reset(9);
+  EXPECT_EQ(d.step(0), 9);
+}
+
+// Property: a DelayLine of latency L shifts any sequence by exactly L.
+class DelayLatency : public ::testing::TestWithParam<int> {};
+
+TEST_P(DelayLatency, ShiftBySequence) {
+  const int latency = GetParam();
+  DelayLine<int> d(static_cast<std::size_t>(latency), -1);
+  for (int i = 0; i < 50; ++i) {
+    const int out = d.step(i);
+    if (i < latency)
+      EXPECT_EQ(out, -1);
+    else
+      EXPECT_EQ(out, i - latency);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Latencies, DelayLatency,
+                         ::testing::Values(0, 1, 2, 5, 9));
+
+}  // namespace
+}  // namespace chainnn::sim

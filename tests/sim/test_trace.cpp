@@ -1,0 +1,54 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chainnn::sim {
+namespace {
+
+TEST(Trace, DisabledByDefault) {
+  Trace t;
+  t.record(1, "pe", "x");
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(Trace, RecordsWhenEnabled) {
+  Trace t;
+  t.enable(true);
+  t.record(1, "pe0", "mac");
+  t.record(2, "pe1", "psum");
+  const auto evs = t.events();
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_EQ(evs[0].cycle, 1u);
+  EXPECT_EQ(evs[0].source, "pe0");
+  EXPECT_EQ(evs[1].message, "psum");
+}
+
+TEST(Trace, RingKeepsMostRecent) {
+  Trace t(3);
+  t.enable(true);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    t.record(i, "s", std::to_string(i));
+  const auto evs = t.events();
+  ASSERT_EQ(evs.size(), 3u);
+  EXPECT_EQ(evs[0].cycle, 7u);  // oldest surviving
+  EXPECT_EQ(evs[2].cycle, 9u);
+}
+
+TEST(Trace, ToStringOneLinePerEvent) {
+  Trace t;
+  t.enable(true);
+  t.record(5, "ctrl", "state=STREAM");
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("[5] ctrl: state=STREAM"), std::string::npos);
+}
+
+TEST(Trace, ClearEmpties) {
+  Trace t;
+  t.enable(true);
+  t.record(1, "a", "b");
+  t.clear();
+  EXPECT_TRUE(t.events().empty());
+}
+
+}  // namespace
+}  // namespace chainnn::sim

@@ -1,0 +1,82 @@
+#include "sim/vcd.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chainnn::sim {
+namespace {
+
+TEST(Vcd, HeaderStructure) {
+  VcdWriter vcd("1ns");
+  (void)vcd.add_signal("top", "clk", 1);
+  const std::string out = vcd.render();
+  EXPECT_NE(out.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(out.find("$scope module top $end"), std::string::npos);
+  EXPECT_NE(out.find("$var wire 1 ! clk $end"), std::string::npos);
+  EXPECT_NE(out.find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(Vcd, ScalarChangesEmitted) {
+  VcdWriter vcd;
+  const auto clk = vcd.add_signal("top", "clk", 1);
+  vcd.change(0, clk, 0);
+  vcd.change(1, clk, 1);
+  const std::string out = vcd.render();
+  EXPECT_NE(out.find("#0\n0!"), std::string::npos);
+  EXPECT_NE(out.find("#1\n1!"), std::string::npos);
+}
+
+TEST(Vcd, VectorChangesUseBinaryFormat) {
+  VcdWriter vcd;
+  const auto bus = vcd.add_signal("top", "bus", 4);
+  vcd.change(5, bus, 0b1010);
+  EXPECT_NE(vcd.render().find("#5\nb1010 !"), std::string::npos);
+}
+
+TEST(Vcd, UnchangedValuesSuppressed) {
+  VcdWriter vcd;
+  const auto s = vcd.add_signal("top", "s", 1);
+  vcd.change(0, s, 1);
+  vcd.change(1, s, 1);  // no change
+  vcd.change(2, s, 0);
+  const std::string out = vcd.render();
+  EXPECT_EQ(out.find("#1\n"), std::string::npos);
+  EXPECT_NE(out.find("#2\n"), std::string::npos);
+}
+
+TEST(Vcd, MultipleScopesGrouped) {
+  VcdWriter vcd;
+  (void)vcd.add_signal("pe0", "sel", 1);
+  (void)vcd.add_signal("pe1", "sel", 1);
+  const std::string out = vcd.render();
+  EXPECT_NE(out.find("$scope module pe0 $end"), std::string::npos);
+  EXPECT_NE(out.find("$scope module pe1 $end"), std::string::npos);
+}
+
+TEST(Vcd, IdentifierCodesUniqueFor100Signals) {
+  VcdWriter vcd;
+  for (int i = 0; i < 100; ++i)
+    (void)vcd.add_signal("s", "sig" + std::to_string(i), 1);
+  const std::string out = vcd.render();
+  // 100 signals exceed one base-94 digit, so two-char codes appear.
+  EXPECT_NE(out.find("sig99"), std::string::npos);
+}
+
+TEST(Vcd, DeclarationsAfterChangesRejected) {
+  VcdWriter vcd;
+  const auto s = vcd.add_signal("top", "s", 1);
+  vcd.change(0, s, 1);
+  EXPECT_THROW((void)vcd.add_signal("top", "late", 1), std::logic_error);
+}
+
+TEST(Vcd, OutOfOrderTimesAreSorted) {
+  VcdWriter vcd;
+  const auto a = vcd.add_signal("top", "a", 1);
+  const auto b = vcd.add_signal("top", "b", 1);
+  vcd.change(5, a, 1);
+  vcd.change(2, b, 1);
+  const std::string out = vcd.render();
+  EXPECT_LT(out.find("#2"), out.find("#5"));
+}
+
+}  // namespace
+}  // namespace chainnn::sim

@@ -1,0 +1,58 @@
+#include "tensor/shape.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chainnn {
+namespace {
+
+TEST(Shape, RankAndDims) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(1), 3);
+  EXPECT_EQ(s.dim(2), 4);
+  EXPECT_EQ(s.num_elements(), 24);
+}
+
+TEST(Shape, RankZeroScalar) {
+  const Shape s;
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.num_elements(), 1);
+}
+
+TEST(Shape, RowMajorStrides) {
+  const Shape s{2, 3, 4};
+  const auto st = s.strides();
+  ASSERT_EQ(st.size(), 3u);
+  EXPECT_EQ(st[0], 12);
+  EXPECT_EQ(st[1], 4);
+  EXPECT_EQ(st[2], 1);
+}
+
+TEST(Shape, OffsetMatchesManualComputation) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.offset({0, 0, 0}), 0);
+  EXPECT_EQ(s.offset({1, 2, 3}), 23);
+  EXPECT_EQ(s.offset({1, 0, 2}), 14);
+}
+
+TEST(Shape, OffsetBoundsChecked) {
+  const Shape s{2, 3};
+  EXPECT_THROW((void)s.offset({2, 0}), std::logic_error);
+  EXPECT_THROW((void)s.offset({0, 3}), std::logic_error);
+  EXPECT_THROW((void)s.offset({0}), std::logic_error);  // rank mismatch
+}
+
+TEST(Shape, RejectsNonPositiveDims) {
+  EXPECT_THROW(Shape({0, 3}), std::logic_error);
+  EXPECT_THROW(Shape({2, -1}), std::logic_error);
+}
+
+TEST(Shape, EqualityAndToString) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_EQ(Shape({2, 3, 4}).to_string(), "[2x3x4]");
+}
+
+}  // namespace
+}  // namespace chainnn

@@ -1,0 +1,95 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chainnn {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor<float> t(Shape{2, 3});
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, FillValueConstructor) {
+  Tensor<std::int16_t> t(Shape{4}, std::int16_t{7});
+  for (auto v : t.data()) EXPECT_EQ(v, 7);
+}
+
+TEST(Tensor, FromVectorChecksSize) {
+  EXPECT_NO_THROW(Tensor<int>(Shape{2, 2}, std::vector<int>{1, 2, 3, 4}));
+  EXPECT_THROW(Tensor<int>(Shape{2, 2}, std::vector<int>{1, 2}),
+               std::logic_error);
+}
+
+TEST(Tensor, MultiIndexAccess) {
+  Tensor<int> t(Shape{2, 3, 4});
+  t.at(1, 2, 3) = 42;
+  EXPECT_EQ(t.at(1, 2, 3), 42);
+  EXPECT_EQ(t.at_flat(23), 42);
+}
+
+TEST(Tensor, FourDAccess) {
+  Tensor<int> t(Shape{2, 2, 2, 2});
+  t.at(1, 0, 1, 0) = 5;
+  EXPECT_EQ((t({1, 0, 1, 0})), 5);
+}
+
+TEST(Tensor, FlatBoundsChecked) {
+  Tensor<int> t(Shape{2});
+  EXPECT_THROW((void)t.at_flat(2), std::logic_error);
+  EXPECT_THROW((void)t.at_flat(-1), std::logic_error);
+}
+
+TEST(Tensor, ValueSemanticsDeepCopy) {
+  Tensor<int> a(Shape{2});
+  a.at_flat(0) = 1;
+  Tensor<int> b = a;
+  b.at_flat(0) = 2;
+  EXPECT_EQ(a.at_flat(0), 1);
+  EXPECT_EQ(b.at_flat(0), 2);
+}
+
+TEST(Tensor, EqualityIsElementwise) {
+  Tensor<int> a(Shape{2}, 1);
+  Tensor<int> b(Shape{2}, 1);
+  EXPECT_EQ(a, b);
+  b.at_flat(1) = 9;
+  EXPECT_NE(a, b);
+}
+
+TEST(Tensor, FillRandomIntegralRange) {
+  Rng rng(1);
+  Tensor<std::int16_t> t(Shape{1000});
+  t.fill_random(rng, -8, 8);
+  for (auto v : t.data()) {
+    EXPECT_GE(v, -8);
+    EXPECT_LE(v, 8);
+  }
+}
+
+TEST(Tensor, FillRandomFloatRange) {
+  Rng rng(2);
+  Tensor<float> t(Shape{1000});
+  t.fill_random(rng, -1.0, 1.0);
+  for (float v : t.data()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  Tensor<int> a(Shape{3}, 0);
+  Tensor<int> b(Shape{3}, 0);
+  b.at_flat(1) = -7;
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, a), 0.0);
+}
+
+TEST(Tensor, MaxAbsDiffShapeChecked) {
+  Tensor<int> a(Shape{3});
+  Tensor<int> b(Shape{4});
+  EXPECT_THROW((void)max_abs_diff(a, b), std::logic_error);
+}
+
+}  // namespace
+}  // namespace chainnn
