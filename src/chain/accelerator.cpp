@@ -136,9 +136,9 @@ Tensor<std::int64_t> staged_reference(const AcceleratorConfig& cfg,
                     const std::int64_t kx =
                         sub.phase_col + layer.stride * skx;
                     const std::int64_t iy = oy * layer.stride + ky -
-                                            layer.pad;
+                                            layer.pad_rows();
                     const std::int64_t ix = ox * layer.stride + kx -
-                                            layer.pad;
+                                            layer.pad_cols();
                     if (iy < 0 || iy >= layer.in_height || ix < 0 ||
                         ix >= layer.in_width)
                       continue;

@@ -46,6 +46,9 @@ struct LayerRunResult {
 
  private:
   friend class ChainAccelerator;
+  friend LayerRunResult merge_shard_results(
+      const dataflow::ExecutionPlan& plan, double clock_hz,
+      std::uint64_t word_bytes, const std::vector<LayerRunResult>& shards);
   double clock_hz_ = 0.0;
 };
 

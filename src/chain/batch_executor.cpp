@@ -1,0 +1,234 @@
+#include "chain/batch_executor.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace chainnn::chain {
+
+namespace {
+
+// SplitMix64 step — decorrelates the per-worker streams from the base
+// seed (seed, seed+1, ... would start xoshiro states too close).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+struct BatchExecutor::Pool {
+  std::vector<std::thread> threads;
+  std::mutex mu;
+  std::condition_variable work_ready;
+  std::condition_variable batch_done;
+  std::vector<std::function<void()>>* tasks = nullptr;
+  std::size_t next = 0;
+  std::size_t pending = 0;
+  bool stop = false;
+};
+
+BatchExecutor::BatchExecutor(const AcceleratorConfig& accelerator,
+                             BatchExecutorConfig cfg)
+    : acc_cfg_(accelerator), cfg_(cfg) {
+  CHAINNN_CHECK_MSG(cfg_.num_workers >= 1,
+                    "num_workers must be >= 1, got " << cfg_.num_workers);
+  rngs_.reserve(static_cast<std::size_t>(cfg_.num_workers));
+  for (std::int64_t w = 0; w < cfg_.num_workers; ++w)
+    rngs_.emplace_back(mix(cfg_.seed + static_cast<std::uint64_t>(w)));
+
+  if (cfg_.num_workers > 1) {
+    pool_ = new Pool;
+    for (std::int64_t w = 0; w < cfg_.num_workers; ++w)
+      pool_->threads.emplace_back([this] { worker_loop(); });
+  }
+}
+
+BatchExecutor::~BatchExecutor() {
+  if (!pool_) return;
+  {
+    std::lock_guard<std::mutex> lock(pool_->mu);
+    pool_->stop = true;
+  }
+  pool_->work_ready.notify_all();
+  for (std::thread& t : pool_->threads) t.join();
+  delete pool_;
+}
+
+Rng& BatchExecutor::worker_rng(std::int64_t w) {
+  CHAINNN_CHECK_MSG(w >= 0 && w < cfg_.num_workers,
+                    "worker " << w << " of " << cfg_.num_workers);
+  return rngs_[static_cast<std::size_t>(w)];
+}
+
+void BatchExecutor::worker_loop() {
+  std::unique_lock<std::mutex> lock(pool_->mu);
+  for (;;) {
+    pool_->work_ready.wait(lock, [this] {
+      return pool_->stop ||
+             (pool_->tasks && pool_->next < pool_->tasks->size());
+    });
+    if (pool_->stop) return;
+    const std::size_t i = pool_->next++;
+    auto& task = (*pool_->tasks)[i];
+    lock.unlock();
+    task();  // tasks capture their own exception state
+    lock.lock();
+    if (--pool_->pending == 0) pool_->batch_done.notify_all();
+  }
+}
+
+void BatchExecutor::run_tasks(std::vector<std::function<void()>>& tasks) {
+  if (!pool_) {
+    for (auto& task : tasks) task();
+    return;
+  }
+  std::unique_lock<std::mutex> lock(pool_->mu);
+  pool_->tasks = &tasks;
+  pool_->next = 0;
+  pool_->pending = tasks.size();
+  pool_->work_ready.notify_all();
+  pool_->batch_done.wait(lock, [this] { return pool_->pending == 0; });
+  pool_->tasks = nullptr;
+}
+
+std::pair<std::int64_t, std::int64_t> BatchExecutor::shard_range(
+    std::int64_t batch, std::int64_t w, std::int64_t count) {
+  CHAINNN_CHECK(count >= 1 && w >= 0 && w < count);
+  const std::int64_t base = batch / count;
+  const std::int64_t extra = batch % count;
+  const std::int64_t first = w * base + std::min(w, extra);
+  const std::int64_t size = base + (w < extra ? 1 : 0);
+  return {first, first + size};
+}
+
+LayerRunResult merge_shard_results(const dataflow::ExecutionPlan& plan,
+                                   double clock_hz, std::uint64_t word_bytes,
+                                   const std::vector<LayerRunResult>& shards) {
+  CHAINNN_CHECK(!shards.empty());
+  const nn::ConvLayerParams& layer = plan.layer;
+
+  LayerRunResult merged;
+  merged.plan = plan;
+  merged.clock_hz_ = clock_hz;
+  merged.accumulators = Tensor<std::int64_t>(
+      Shape{layer.batch, layer.out_channels, layer.out_height(),
+            layer.out_width()});
+  merged.ofmaps = Tensor<std::int16_t>(merged.accumulators.shape());
+
+  // Once-per-batch kernel traffic every shard paid: one kMemory write and
+  // one DRAM fetch per weight word (see LayerController::load_kernels_for).
+  const std::uint64_t kernel_bytes =
+      static_cast<std::uint64_t>(plan.kernel_words_total()) * word_bytes;
+
+  merged.traffic.layer_name = layer.name;
+  std::int64_t image = 0;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const LayerRunResult& r = shards[s];
+
+    // Batch-independent costs must agree across shards.
+    CHAINNN_CHECK_MSG(
+        r.stats.kernel_load_cycles == shards[0].stats.kernel_load_cycles &&
+            r.stats.drain_cycles == shards[0].stats.drain_cycles,
+        "shard " << s << " disagrees on once-per-batch cycle costs");
+
+    merged.stats.stream_cycles += r.stats.stream_cycles;
+    merged.stats.windows_collected += r.stats.windows_collected;
+    merged.stats.macs_performed += r.stats.macs_performed;
+    merged.stats.passes += r.stats.passes;
+
+    merged.traffic.imemory_bytes += r.traffic.imemory_bytes;
+    merged.traffic.omemory_bytes += r.traffic.omemory_bytes;
+    merged.traffic.kmemory_bytes += r.traffic.kmemory_bytes;
+    merged.traffic.dram_bytes += r.traffic.dram_bytes;
+
+    // Counters in NarrowingStats merge exactly; its double error sums are
+    // added per-shard, so mean_sq_error may differ in the last ulp from
+    // the serial order (the bit-identical guarantee covers ofmaps, cycles
+    // and traffic).
+    merged.narrowing.merge(r.narrowing);
+
+    const std::int64_t shard_batch = r.accumulators.shape().dim(0);
+    const auto offset = static_cast<std::size_t>(
+        image * layer.out_channels * layer.out_height() * layer.out_width());
+    std::copy(r.accumulators.data().begin(), r.accumulators.data().end(),
+              merged.accumulators.mutable_data().begin() + offset);
+    std::copy(r.ofmaps.data().begin(), r.ofmaps.data().end(),
+              merged.ofmaps.mutable_data().begin() + offset);
+    image += shard_batch;
+  }
+  CHAINNN_CHECK_MSG(image == layer.batch,
+                    "shards cover " << image << " of " << layer.batch
+                                    << " images");
+
+  // Keep a single copy of the once-per-batch costs.
+  merged.stats.kernel_load_cycles = shards[0].stats.kernel_load_cycles;
+  merged.stats.drain_cycles = shards[0].stats.drain_cycles;
+  const std::uint64_t duplicated =
+      static_cast<std::uint64_t>(shards.size() - 1) * kernel_bytes;
+  CHAINNN_CHECK(merged.traffic.kmemory_bytes >= duplicated &&
+                merged.traffic.dram_bytes >= duplicated);
+  merged.traffic.kmemory_bytes -= duplicated;
+  merged.traffic.dram_bytes -= duplicated;
+  return merged;
+}
+
+LayerRunResult BatchExecutor::run_layer(const nn::ConvLayerParams& layer,
+                                        const Tensor<std::int16_t>& ifmaps,
+                                        const Tensor<std::int16_t>& kernels,
+                                        const Tensor<std::int16_t>* bias) {
+  layer.validate();
+  CHAINNN_CHECK(ifmaps.shape() == Shape({layer.batch, layer.in_channels,
+                                         layer.in_height, layer.in_width}));
+
+  const std::int64_t shards = std::min(cfg_.num_workers, layer.batch);
+  if (shards <= 1) {
+    if (!serial_acc_) serial_acc_ = std::make_unique<ChainAccelerator>(acc_cfg_);
+    return serial_acc_->run_layer(layer, ifmaps, kernels, bias);
+  }
+
+  std::vector<LayerRunResult> results(static_cast<std::size_t>(shards));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(shards));
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<std::size_t>(shards));
+  const std::int64_t image_words =
+      layer.in_channels * layer.in_height * layer.in_width;
+
+  for (std::int64_t s = 0; s < shards; ++s) {
+    tasks.push_back([&, s] {
+      try {
+        const auto [first, last] = shard_range(layer.batch, s, shards);
+        nn::ConvLayerParams shard_layer = layer.with_batch(last - first);
+        Tensor<std::int16_t> slice(
+            Shape{last - first, layer.in_channels, layer.in_height,
+                  layer.in_width});
+        const auto src = ifmaps.data().subspan(
+            static_cast<std::size_t>(first * image_words),
+            static_cast<std::size_t>((last - first) * image_words));
+        std::copy(src.begin(), src.end(), slice.mutable_data().begin());
+
+        ChainAccelerator acc(acc_cfg_);  // per-shard clone, private hierarchy
+        results[static_cast<std::size_t>(s)] =
+            acc.run_layer(shard_layer, slice, kernels, bias);
+      } catch (...) {
+        errors[static_cast<std::size_t>(s)] = std::current_exception();
+      }
+    });
+  }
+  run_tasks(tasks);
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+
+  const dataflow::ExecutionPlan plan =
+      dataflow::plan_layer(layer, acc_cfg_.array, acc_cfg_.memory);
+  return merge_shard_results(plan, acc_cfg_.array.clock_hz,
+                             acc_cfg_.memory.word_bytes, results);
+}
+
+}  // namespace chainnn::chain

@@ -1,0 +1,100 @@
+// BatchExecutor — batch-parallel layer execution on a pool of per-worker
+// ChainAccelerator clones.
+//
+// Images of a batch are independent on Chain-NN (the controller's image
+// loop sits inside every kernel residency), so a batch of N ifmaps can be
+// sharded across W workers, each running a contiguous slice on its own
+// accelerator instance, and the per-shard results merged back into the
+// exact LayerRunResult the serial path would have produced:
+//
+//   * ofmaps / accumulators — contiguous slices along N, copied back in
+//     image order;
+//   * per-image counters (stream cycles, windows, MACs, passes, iMemory /
+//     oMemory traffic) — summed in fixed shard order;
+//   * once-per-batch costs (kernel load cycles, drain cycles, kMemory
+//     kernel writes, DRAM kernel fetch) — every shard pays them once, so
+//     the merge keeps a single copy and verifies all shards agree.
+//
+// The merge is algebraic, not approximate: tests pin bit-identical
+// ofmaps, cycles and traffic against ChainAccelerator::run_layer for
+// num_workers in {1, 2, 8} including non-divisible batch sizes.
+//
+// Determinism: the reduction order over shards is fixed (shard 0..S-1
+// regardless of thread completion order) and each worker owns an
+// independent, deterministically seeded RNG stream (seed ^ splitmix(w))
+// so any future stochastic model component (e.g. DRAM latency jitter)
+// stays reproducible under parallel execution.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "chain/accelerator.hpp"
+#include "common/rng.hpp"
+
+namespace chainnn::chain {
+
+struct BatchExecutorConfig {
+  // Worker threads in the pool. 1 keeps everything on the calling thread
+  // and is bit-identical to ChainAccelerator::run_layer by construction.
+  std::int64_t num_workers = 1;
+  // Base seed for the per-worker RNG streams.
+  std::uint64_t seed = 0xC4A15EEDULL;
+};
+
+class BatchExecutor {
+ public:
+  explicit BatchExecutor(const AcceleratorConfig& accelerator,
+                         BatchExecutorConfig cfg = {});
+  ~BatchExecutor();
+
+  BatchExecutor(const BatchExecutor&) = delete;
+  BatchExecutor& operator=(const BatchExecutor&) = delete;
+
+  [[nodiscard]] std::int64_t num_workers() const { return cfg_.num_workers; }
+  [[nodiscard]] const AcceleratorConfig& accelerator_config() const {
+    return acc_cfg_;
+  }
+
+  // The independent RNG stream of worker `w` (0 <= w < num_workers).
+  [[nodiscard]] Rng& worker_rng(std::int64_t w);
+
+  // Runs one conv layer's whole batch, sharded across the pool. The
+  // result is bit-identical to ChainAccelerator(cfg).run_layer(...) on
+  // the same arguments.
+  [[nodiscard]] LayerRunResult run_layer(
+      const nn::ConvLayerParams& layer, const Tensor<std::int16_t>& ifmaps,
+      const Tensor<std::int16_t>& kernels,
+      const Tensor<std::int16_t>* bias = nullptr);
+
+  // Contiguous image range [first, last) assigned to shard `w` of `count`
+  // over `batch` images; the remainder images go to the lowest shards.
+  [[nodiscard]] static std::pair<std::int64_t, std::int64_t> shard_range(
+      std::int64_t batch, std::int64_t w, std::int64_t count);
+
+ private:
+  // Runs `tasks` on the pool (any thread may pick up any task) and blocks
+  // until all complete. With a single worker the tasks run inline.
+  void run_tasks(std::vector<std::function<void()>>& tasks);
+  void worker_loop();
+
+  AcceleratorConfig acc_cfg_;
+  BatchExecutorConfig cfg_;
+  std::vector<Rng> rngs_;
+  std::unique_ptr<ChainAccelerator> serial_acc_;  // lazy, single-shard path
+
+  struct Pool;  // threads + queue (hidden so the header stays light)
+  Pool* pool_ = nullptr;
+};
+
+// Merges per-shard layer results (contiguous image slices, in order) into
+// the full-batch result. Exposed for tests; `plan` must be the plan of
+// the full-batch layer and `word_bytes` the hierarchy word size.
+[[nodiscard]] LayerRunResult merge_shard_results(
+    const dataflow::ExecutionPlan& plan, double clock_hz,
+    std::uint64_t word_bytes, const std::vector<LayerRunResult>& shards);
+
+}  // namespace chainnn::chain

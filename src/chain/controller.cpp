@@ -149,8 +149,8 @@ void LayerController::run_pass(const MGroup& mg, std::int64_t image,
     const std::int64_t dec_col = px->col;
     const std::int64_t pr = layer.stride * dec_row + sub.phase_row;
     const std::int64_t pc = layer.stride * dec_col + sub.phase_col;
-    const std::int64_t r = pr - layer.pad;
-    const std::int64_t c = pc - layer.pad;
+    const std::int64_t r = pr - layer.pad_rows();
+    const std::int64_t c = pc - layer.pad_cols();
     if (r < 0 || r >= layer.in_height || c < 0 || c >= layer.in_width)
       return 0;  // padding, synthesized rather than read
     hierarchy_.imemory().read_words(1);

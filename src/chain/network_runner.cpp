@@ -1,5 +1,8 @@
 #include "chain/network_runner.hpp"
 
+#include <memory>
+
+#include "chain/batch_executor.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "nn/golden.hpp"
@@ -48,6 +51,14 @@ NetworkRunResult NetworkRunner::run(const nn::NetworkModel& net,
   Tensor<std::int16_t> act = input;
   Rng rng(0xC0FFEE);
 
+  CHAINNN_CHECK_MSG(options.num_workers >= 1,
+                    "num_workers must be >= 1, got " << options.num_workers);
+  std::unique_ptr<BatchExecutor> executor;
+  if (options.num_workers > 1) {
+    executor = std::make_unique<BatchExecutor>(
+        acc_.config(), BatchExecutorConfig{options.num_workers});
+  }
+
   for (std::size_t i = 0; i < net.conv_layers.size(); ++i) {
     nn::ConvLayerParams layer = net.conv_layers[i];
     layer.batch = act.shape().dim(0);
@@ -70,7 +81,8 @@ NetworkRunResult NetworkRunner::run(const nn::NetworkModel& net,
 
     NetworkLayerResult lr;
     lr.layer = layer;
-    lr.run = acc_.run_layer(layer, act, kernels);
+    lr.run = executor ? executor->run_layer(layer, act, kernels)
+                      : acc_.run_layer(layer, act, kernels);
     lr.verified = !options.verify_against_golden ||
                   lr.run.accumulators ==
                       nn::conv2d_fixed_accum(layer, act, kernels);

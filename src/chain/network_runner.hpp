@@ -51,6 +51,10 @@ struct NetworkRunOptions {
   // Weight initializer; defaults to deterministic small uniforms.
   std::function<void(std::int64_t layer_index, Tensor<std::int16_t>&)>
       weight_init;
+  // Batch-parallel execution: shard each layer's batch across this many
+  // worker threads (BatchExecutor). 1 = today's serial path, bit-exactly;
+  // any value produces bit-identical ofmaps, cycles and traffic.
+  std::int64_t num_workers = 1;
 };
 
 class NetworkRunner {

@@ -8,8 +8,8 @@ std::vector<SubConv> decompose_strided(const nn::ConvLayerParams& p) {
   p.validate();
   const std::int64_t s = p.stride;
   const std::int64_t k = p.kernel;
-  const std::int64_t h_pad = p.in_height + 2 * p.pad;
-  const std::int64_t w_pad = p.in_width + 2 * p.pad;
+  const std::int64_t h_pad = p.in_height + 2 * p.pad_rows();
+  const std::int64_t w_pad = p.in_width + 2 * p.pad_cols();
 
   std::vector<SubConv> subs;
   for (std::int64_t a = 0; a < s && a < k; ++a) {

@@ -14,7 +14,8 @@ std::int64_t strip_real_cols(const nn::ConvLayerParams& layer,
   std::int64_t real_cols = 0;
   for (std::int64_t c = 0; c < sub.in_cols; ++c) {
     const std::int64_t pc = layer.stride * c + sub.phase_col;
-    if (pc >= layer.pad && pc < layer.pad + layer.in_width) ++real_cols;
+    if (pc >= layer.pad_cols() && pc < layer.pad_cols() + layer.in_width)
+      ++real_cols;
   }
   return real_cols;
 }
@@ -24,7 +25,7 @@ bool row_is_real(const nn::ConvLayerParams& layer, const SubConv& sub,
                  std::int64_t r) {
   if (r < 0 || r >= sub.in_rows) return false;
   const std::int64_t pr = layer.stride * r + sub.phase_row;
-  return pr >= layer.pad && pr < layer.pad + layer.in_height;
+  return pr >= layer.pad_rows() && pr < layer.pad_rows() + layer.in_height;
 }
 
 }  // namespace

@@ -26,13 +26,26 @@ struct ConvLayerParams {
   std::int64_t stride = 1;
   std::int64_t pad = 0;
   std::int64_t groups = 1;
+  // Per-axis padding overrides (asymmetric padding between the H and W
+  // axes; each axis is still padded symmetrically on both sides). The
+  // default -1 inherits `pad`, so square-padded layers read as before.
+  std::int64_t pad_h = -1;
+  std::int64_t pad_w = -1;
+
+  // Effective padding on the row / column axis.
+  [[nodiscard]] std::int64_t pad_rows() const {
+    return pad_h >= 0 ? pad_h : pad;
+  }
+  [[nodiscard]] std::int64_t pad_cols() const {
+    return pad_w >= 0 ? pad_w : pad;
+  }
 
   // --- derived quantities --------------------------------------------------
   [[nodiscard]] std::int64_t out_height() const {
-    return (in_height + 2 * pad - kernel) / stride + 1;
+    return (in_height + 2 * pad_rows() - kernel) / stride + 1;
   }
   [[nodiscard]] std::int64_t out_width() const {
-    return (in_width + 2 * pad - kernel) / stride + 1;
+    return (in_width + 2 * pad_cols() - kernel) / stride + 1;
   }
   // Ifmap channels seen by each output channel (C/groups).
   [[nodiscard]] std::int64_t channels_per_group() const {

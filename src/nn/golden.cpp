@@ -45,10 +45,10 @@ Tensor<float> conv2d_float(const ConvLayerParams& p,
     for (std::int64_t c = 0; c < cg; ++c) {
       const std::int64_t ic = g * cg + c;
       for (std::int64_t ky = 0; ky < p.kernel; ++ky) {
-        const std::int64_t iy = oy * p.stride + ky - p.pad;
+        const std::int64_t iy = oy * p.stride + ky - p.pad_rows();
         if (iy < 0 || iy >= p.in_height) continue;
         for (std::int64_t kx = 0; kx < p.kernel; ++kx) {
-          const std::int64_t ix = ox * p.stride + kx - p.pad;
+          const std::int64_t ix = ox * p.stride + kx - p.pad_cols();
           if (ix < 0 || ix >= p.in_width) continue;
           acc += double{ifmaps.at(n, ic, iy, ix)} *
                  double{kernels.at(m, c, ky, kx)};
@@ -82,10 +82,10 @@ Tensor<std::int64_t> conv2d_fixed_accum(const ConvLayerParams& p,
     for (std::int64_t c = 0; c < cg; ++c) {
       const std::int64_t ic = g * cg + c;
       for (std::int64_t ky = 0; ky < p.kernel; ++ky) {
-        const std::int64_t iy = oy * p.stride + ky - p.pad;
+        const std::int64_t iy = oy * p.stride + ky - p.pad_rows();
         if (iy < 0 || iy >= p.in_height) continue;
         for (std::int64_t kx = 0; kx < p.kernel; ++kx) {
-          const std::int64_t ix = ox * p.stride + kx - p.pad;
+          const std::int64_t ix = ox * p.stride + kx - p.pad_cols();
           if (ix < 0 || ix >= p.in_width) continue;
           acc.mac(fixed::Fixed16(ifmaps.at(n, ic, iy, ix)),
                   fixed::Fixed16(kernels.at(m, c, ky, kx)));

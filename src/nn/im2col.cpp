@@ -19,9 +19,9 @@ Tensor<float> im2col_image(const ConvLayerParams& p,
       for (std::int64_t kx = 0; kx < p.kernel; ++kx) {
         const std::int64_t row = (c * p.kernel + ky) * p.kernel + kx;
         for (std::int64_t oy = 0; oy < eh; ++oy) {
-          const std::int64_t iy = oy * p.stride + ky - p.pad;
+          const std::int64_t iy = oy * p.stride + ky - p.pad_rows();
           for (std::int64_t ox = 0; ox < ew; ++ox) {
-            const std::int64_t ix = ox * p.stride + kx - p.pad;
+            const std::int64_t ix = ox * p.stride + kx - p.pad_cols();
             float v = 0.0f;
             if (iy >= 0 && iy < p.in_height && ix >= 0 && ix < p.in_width)
               v = ifmaps.at(n, ic, iy, ix);

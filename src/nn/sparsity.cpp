@@ -24,10 +24,10 @@ ZeroMacStats count_zero_macs(const ConvLayerParams& p,
         for (std::int64_t ox = 0; ox < p.out_width(); ++ox) {
           for (std::int64_t c = 0; c < cg; ++c) {
             for (std::int64_t ky = 0; ky < p.kernel; ++ky) {
-              const std::int64_t iy = oy * p.stride + ky - p.pad;
+              const std::int64_t iy = oy * p.stride + ky - p.pad_rows();
               if (iy < 0 || iy >= p.in_height) continue;
               for (std::int64_t kx = 0; kx < p.kernel; ++kx) {
-                const std::int64_t ix = ox * p.stride + kx - p.pad;
+                const std::int64_t ix = ox * p.stride + kx - p.pad_cols();
                 if (ix < 0 || ix >= p.in_width) continue;
                 const bool xz = ifmaps.at(n, g * cg + c, iy, ix) == 0;
                 const bool wz = kernels.at(m, c, ky, kx) == 0;

@@ -146,5 +146,190 @@ TEST(GoldenFixed, NarrowingSaturationReported) {
     EXPECT_EQ(res.ofmaps.at_flat(i), 32767);
 }
 
+// --- edge cases: stride > kernel, asymmetric padding, 1x1 kernels ---------
+
+TEST(GoldenEdge, StrideGreaterThanKernelSkipsPixels) {
+  // K=2, S=3 on a 8x8 input: windows start at rows/cols {0, 3, 6}, and
+  // pixel (oy*3+ky, ox*3+kx) is read — every third pixel band; the pixels
+  // between windows must not contribute.
+  ConvLayerParams p = tiny();
+  p.in_height = p.in_width = 8;
+  p.kernel = 2;
+  p.stride = 3;
+  p.validate();
+  ASSERT_EQ(p.out_height(), 3);
+
+  Tensor<float> x(Shape{1, 1, 8, 8});
+  for (std::int64_t i = 0; i < 64; ++i)
+    x.at_flat(i) = static_cast<float>(i);
+  Tensor<float> w(Shape{1, 1, 2, 2}, 1.0f);
+  const Tensor<float> y = conv2d_float(p, x, w);
+  ASSERT_EQ(y.shape(), Shape({1, 1, 3, 3}));
+  // Window at (0,0): pixels (0,0)=0, (0,1)=1, (1,0)=8, (1,1)=9.
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 0 + 1 + 8 + 9);
+  // Window at (2,1): rows 6-7, cols 3-4.
+  EXPECT_FLOAT_EQ(y.at(0, 0, 2, 1), 51 + 52 + 59 + 60);
+
+  // Perturbing a skipped pixel (row 2 lies between the row-0 and row-3
+  // windows) must not change any output.
+  Tensor<float> x2 = x;
+  x2.at(0, 0, 2, 2) = 1e6f;
+  EXPECT_DOUBLE_EQ(max_abs_diff(y, conv2d_float(p, x2, w)), 0.0);
+}
+
+TEST(GoldenEdge, StrideGreaterThanKernelFixedMatchesFloat) {
+  ConvLayerParams p = tiny();
+  p.in_height = p.in_width = 9;
+  p.kernel = 2;
+  p.stride = 4;
+  p.in_channels = 2;
+  p.validate();
+  Rng rng(7);
+  Tensor<std::int16_t> x(Shape{1, 2, 9, 9});
+  Tensor<std::int16_t> w(Shape{1, 2, 2, 2});
+  x.fill_random(rng, -100, 100);
+  w.fill_random(rng, -20, 20);
+  const Tensor<std::int64_t> acc = conv2d_fixed_accum(p, x, w);
+  // Exact integer cross-check against a hand-rolled window sum.
+  for (std::int64_t oy = 0; oy < p.out_height(); ++oy)
+    for (std::int64_t ox = 0; ox < p.out_width(); ++ox) {
+      std::int64_t want = 0;
+      for (std::int64_t c = 0; c < 2; ++c)
+        for (std::int64_t ky = 0; ky < 2; ++ky)
+          for (std::int64_t kx = 0; kx < 2; ++kx)
+            want += std::int64_t{x.at(0, c, oy * 4 + ky, ox * 4 + kx)} *
+                    std::int64_t{w.at(0, c, ky, kx)};
+      EXPECT_EQ(acc.at(0, 0, oy, ox), want) << "at (" << oy << "," << ox
+                                            << ")";
+    }
+}
+
+TEST(GoldenEdge, AsymmetricPaddingShapesAndValues) {
+  // pad_h=1, pad_w=0: rows gain padding, columns do not.
+  ConvLayerParams p = tiny();
+  p.in_height = 4;
+  p.in_width = 6;
+  p.pad_h = 1;
+  p.pad_w = 0;
+  p.validate();
+  ASSERT_EQ(p.out_height(), 4);  // (4 + 2*1 - 3) + 1
+  ASSERT_EQ(p.out_width(), 4);   // (6 + 2*0 - 3) + 1
+
+  Tensor<float> x(Shape{1, 1, 4, 6}, 1.0f);
+  Tensor<float> w(Shape{1, 1, 3, 3}, 1.0f);
+  const Tensor<float> y = conv2d_float(p, x, w);
+  // Top output row: the ky=0 taps fall in row padding -> 6 real taps.
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 6.0f);
+  // Interior rows see the full 3x3 window (no column padding anywhere).
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 0), 9.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 2, 3), 9.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 3, 1), 6.0f);  // bottom row
+}
+
+TEST(GoldenEdge, AsymmetricPaddingMatchesSymmetricOnTransposedInput) {
+  // Swapping the image axes and swapping (pad_h, pad_w) must transpose
+  // the output — pins that each pad lands on its own axis.
+  ConvLayerParams p = tiny();
+  p.in_height = 5;
+  p.in_width = 7;
+  p.pad_h = 2;
+  p.pad_w = 1;
+  p.validate();
+  Rng rng(8);
+  Tensor<float> x(Shape{1, 1, 5, 7});
+  x.fill_random(rng, -1.0, 1.0);
+  Tensor<float> w(Shape{1, 1, 3, 3});
+  w.fill_random(rng, -1.0, 1.0);
+  const Tensor<float> y = conv2d_float(p, x, w);
+
+  ConvLayerParams pt = p;
+  pt.in_height = 7;
+  pt.in_width = 5;
+  pt.pad_h = 1;
+  pt.pad_w = 2;
+  Tensor<float> xt(Shape{1, 1, 7, 5});
+  for (std::int64_t r = 0; r < 5; ++r)
+    for (std::int64_t c = 0; c < 7; ++c) xt.at(0, 0, c, r) = x.at(0, 0, r, c);
+  Tensor<float> wt(Shape{1, 1, 3, 3});
+  for (std::int64_t r = 0; r < 3; ++r)
+    for (std::int64_t c = 0; c < 3; ++c) wt.at(0, 0, c, r) = w.at(0, 0, r, c);
+  const Tensor<float> yt = conv2d_float(pt, xt, wt);
+
+  ASSERT_EQ(yt.shape(), Shape({1, 1, y.shape().dim(3), y.shape().dim(2)}));
+  for (std::int64_t r = 0; r < y.shape().dim(2); ++r)
+    for (std::int64_t c = 0; c < y.shape().dim(3); ++c)
+      EXPECT_FLOAT_EQ(yt.at(0, 0, c, r), y.at(0, 0, r, c));
+}
+
+TEST(GoldenEdge, AsymmetricPaddingFixedAccumMatchesFloat) {
+  ConvLayerParams p = tiny();
+  p.in_height = 5;
+  p.in_width = 4;
+  p.pad_h = 0;
+  p.pad_w = 2;
+  p.validate();
+  Rng rng(9);
+  Tensor<std::int16_t> x(Shape{1, 1, 5, 4});
+  Tensor<std::int16_t> w(Shape{1, 1, 3, 3});
+  x.fill_random(rng, -64, 64);
+  w.fill_random(rng, -16, 16);
+  const Tensor<std::int64_t> acc = conv2d_fixed_accum(p, x, w);
+
+  Tensor<float> xf(x.shape()), wf(w.shape());
+  for (std::int64_t i = 0; i < x.num_elements(); ++i)
+    xf.at_flat(i) = static_cast<float>(x.at_flat(i));
+  for (std::int64_t i = 0; i < w.num_elements(); ++i)
+    wf.at_flat(i) = static_cast<float>(w.at_flat(i));
+  const Tensor<float> yf = conv2d_float(p, xf, wf);
+  ASSERT_EQ(acc.shape(), yf.shape());
+  for (std::int64_t i = 0; i < acc.num_elements(); ++i)
+    EXPECT_EQ(static_cast<double>(acc.at_flat(i)),
+              static_cast<double>(yf.at_flat(i)));
+}
+
+TEST(GoldenEdge, OneByOneKernelIsChannelMix) {
+  // A 1x1 conv is a per-pixel linear mix of channels: no spatial reach,
+  // output size equals input size, padding-free.
+  ConvLayerParams p = tiny();
+  p.in_channels = 3;
+  p.out_channels = 2;
+  p.kernel = 1;
+  p.validate();
+  ASSERT_EQ(p.out_height(), 4);
+  Rng rng(10);
+  Tensor<float> x(Shape{1, 3, 4, 4});
+  x.fill_random(rng, -1.0, 1.0);
+  Tensor<float> w(Shape{2, 3, 1, 1});
+  w.fill_random(rng, -1.0, 1.0);
+  const Tensor<float> y = conv2d_float(p, x, w);
+  for (std::int64_t m = 0; m < 2; ++m)
+    for (std::int64_t r = 0; r < 4; ++r)
+      for (std::int64_t c = 0; c < 4; ++c) {
+        double want = 0.0;  // conv2d_float accumulates in double
+        for (std::int64_t ci = 0; ci < 3; ++ci)
+          want += double{x.at(0, ci, r, c)} * double{w.at(m, ci, 0, 0)};
+        EXPECT_FLOAT_EQ(y.at(0, m, r, c), static_cast<float>(want));
+      }
+}
+
+TEST(GoldenEdge, OneByOneKernelStridedSubsamples) {
+  // 1x1 with stride 2 picks every other pixel — the extreme of
+  // stride > kernel.
+  ConvLayerParams p = tiny();
+  p.kernel = 1;
+  p.stride = 2;
+  p.in_height = p.in_width = 6;
+  p.validate();
+  ASSERT_EQ(p.out_height(), 3);
+  Tensor<std::int16_t> x(Shape{1, 1, 6, 6});
+  for (std::int64_t i = 0; i < 36; ++i)
+    x.at_flat(i) = static_cast<std::int16_t>(i);
+  Tensor<std::int16_t> w(Shape{1, 1, 1, 1}, std::int16_t{2});
+  const Tensor<std::int64_t> acc = conv2d_fixed_accum(p, x, w);
+  for (std::int64_t oy = 0; oy < 3; ++oy)
+    for (std::int64_t ox = 0; ox < 3; ++ox)
+      EXPECT_EQ(acc.at(0, 0, oy, ox), 2 * (6 * (2 * oy) + 2 * ox));
+}
+
 }  // namespace
 }  // namespace chainnn::nn
