@@ -7,12 +7,22 @@
 //      for strided layers) — this is what Fig. 9 plots;
 //   2. our schedule's closed-form cycle counts (strip patterns, phase
 //      decomposition for conv1);
-//   3. measured cycles from the register-level simulator on one image
+//   3. executed cycles from one image on the selected engine
 //      (bit-exactness asserted against the golden model), scaled to the
 //      batch for comparison.
+//
+// --exec-mode selects the engine for view 3:
+//   analytical      (default) — golden ofmaps + closed-form accounting;
+//                   equals the simulator exactly, orders of magnitude
+//                   faster, so the whole figure prints in milliseconds.
+//   cycle-accurate  — the register-level simulator.
+//   compare         — runs both, asserts identical cycles, and reports
+//                   the per-layer and total wall-clock speedup.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <iostream>
+#include <string>
 
 #include "chain/accelerator.hpp"
 #include "common/rng.hpp"
@@ -27,15 +37,18 @@ namespace {
 
 using namespace chainnn;
 
-// One-image cycle-accurate measurement; channels reduced so the run fits
-// in a few seconds — layer geometry (H/W/K/S/groups) stays full-size and
-// the cycle count is scaled back by the exact channel ratio.
+// One-image measurement on the selected engine; channels reduced so the
+// cycle-accurate run fits in a few seconds — layer geometry (H/W/K/S/
+// groups) stays full-size and the cycle count is scaled back by the
+// exact channel ratio.
 struct SimMeasurement {
   double scaled_cycles = 0.0;
+  double wall_ms = 0.0;
   bool bit_exact = false;
 };
 
-SimMeasurement simulate_layer(const nn::ConvLayerParams& full) {
+SimMeasurement simulate_layer(const nn::ConvLayerParams& full,
+                              chain::ExecMode mode) {
   nn::ConvLayerParams p = full;
   const std::int64_t c_div = full.in_channels >= 48 ? 16 : 1;
   const std::int64_t m_div = full.out_channels >= 96 ? 16 : 1;
@@ -50,10 +63,15 @@ SimMeasurement simulate_layer(const nn::ConvLayerParams& full) {
   x.fill_random(rng, -64, 64);
   w.fill_random(rng, -16, 16);
 
-  chain::ChainAccelerator acc{chain::AcceleratorConfig{}};
+  chain::AcceleratorConfig cfg;
+  cfg.exec_mode = mode;
+  chain::ChainAccelerator acc(cfg);
+  const auto t0 = std::chrono::steady_clock::now();
   const auto res = acc.run_layer(p, x, w);
+  const auto t1 = std::chrono::steady_clock::now();
 
   SimMeasurement m;
+  m.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   m.bit_exact = res.accumulators == nn::conv2d_fixed_accum(p, x, w);
   // Cycles scale with channels streamed (c) and with m-groups; recover
   // the full-size count through the plan ratio.
@@ -68,17 +86,24 @@ SimMeasurement simulate_layer(const nn::ConvLayerParams& full) {
   return m;
 }
 
-void print_fig9() {
+// Returns false if compare mode found a divergence (or any executed
+// layer was not bit-exact) so the binary can fail loudly.
+bool print_fig9(chain::ExecMode mode, bool compare) {
   const dataflow::ArrayShape array;
   const auto net = nn::alexnet();
   const std::int64_t batch = 128;
 
-  TextTable t("Fig. 9 — AlexNet conv layer times, batch 128 (ms)");
+  TextTable t(std::string("Fig. 9 — AlexNet conv layer times, batch 128 "
+                          "(ms); exec: ") +
+              (compare ? "compare" : chain::exec_mode_name(mode)));
   t.set_header({"layer", "paper conv", "paper load", "paper-model conv",
-                "our-schedule conv", "sim (scaled)", "load (ours)",
+                "our-schedule conv", "exec (scaled)", "load (ours)",
                 "bit-exact"});
   double total_ours = 0.0, total_paper = 0.0, total_load = 0.0;
   double total_paper_model = 0.0;
+  double wall_analytical_ms = 0.0, wall_cycle_ms = 0.0;
+  bool cycles_identical = true;
+  bool all_bit_exact = true;
   for (std::size_t i = 0; i < net.conv_layers.size(); ++i) {
     const auto& layer = net.conv_layers[i];
     const auto plan = dataflow::plan_layer(layer, array);
@@ -91,7 +116,22 @@ void print_fig9() {
     const double load_ms =
         static_cast<double>(plan.kernel_load_cycles_per_batch()) /
         array.clock_hz * 1e3;
-    const SimMeasurement sim = simulate_layer(layer);
+    SimMeasurement sim;
+    if (compare) {
+      const SimMeasurement fast =
+          simulate_layer(layer, chain::ExecMode::kAnalytical);
+      const SimMeasurement slow =
+          simulate_layer(layer, chain::ExecMode::kCycleAccurate);
+      wall_analytical_ms += fast.wall_ms;
+      wall_cycle_ms += slow.wall_ms;
+      cycles_identical =
+          cycles_identical && fast.scaled_cycles == slow.scaled_cycles;
+      sim = fast;
+      sim.bit_exact = fast.bit_exact && slow.bit_exact;
+    } else {
+      sim = simulate_layer(layer, mode);
+    }
+    all_bit_exact = all_bit_exact && sim.bit_exact;
     const double sim_ms = sim.scaled_cycles * batch / array.clock_hz * 1e3;
 
     t.add_row({layer.name, strings::fmt_fixed(report::kFig9[i].conv_ms, 2),
@@ -107,6 +147,16 @@ void print_fig9() {
     total_load += load_ms;
   }
   std::cout << t.to_ascii();
+
+  if (compare) {
+    std::cout << "exec-mode speedup (channel-reduced layers, one image): "
+              << "cycle-accurate " << strings::fmt_fixed(wall_cycle_ms, 1)
+              << " ms vs analytical "
+              << strings::fmt_fixed(wall_analytical_ms, 2) << " ms => "
+              << strings::fmt_fixed(wall_cycle_ms / wall_analytical_ms, 1)
+              << "x, cycle counts "
+              << (cycles_identical ? "identical" : "DIFFER") << "\n\n";
+  }
 
   const double fps128_ours = batch / ((total_ours + total_load) / 1e3);
   const double fps128_paper_model =
@@ -132,6 +182,7 @@ void print_fig9() {
                "explicit strip ramp-in/out, so each is a few percent "
                "slower than the\npaper's idealized numbers. Shape (layer "
                "ordering, load<<conv) is preserved.\n\n";
+  return cycles_identical && all_bit_exact;
 }
 
 void BM_PlanAlexNet(benchmark::State& state) {
@@ -148,8 +199,30 @@ BENCHMARK(BM_PlanAlexNet);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_fig9();
+  chain::ExecMode mode = chain::ExecMode::kAnalytical;
+  bool compare = false;
+  // Strip --exec-mode before google-benchmark sees the argv.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--exec-mode=";
+    if (arg.rfind(prefix, 0) == 0) {
+      const std::string value = arg.substr(prefix.size());
+      if (value == "compare") {
+        compare = true;
+      } else if (!chain::parse_exec_mode(value, &mode)) {
+        std::cerr << "unknown --exec-mode \"" << value
+                  << "\" (analytical | cycle-accurate | compare)\n";
+        return 1;
+      }
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+
+  const bool ok = print_fig9(mode, compare);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ok ? 0 : 2;
 }

@@ -3,10 +3,19 @@
 // the §III.B claim that the 1D chain "involves fewer overheads when
 // scaled up to a higher parallelism or clock frequency" made quantitative.
 //
+// The sweep itself uses the plan's closed forms (which ARE the analytical
+// engine's timing model); a final spot check executes one channel-reduced
+// layer through ChainAccelerator on the selected engine and confirms the
+// sweep's closed-form cycles against executed cycles.
+//
 //   ./design_space [--model=alexnet] [--batch=128]
+//                  [--exec-mode=analytical|cycle-accurate|none]
+#include <chrono>
 #include <iostream>
 
+#include "chain/accelerator.hpp"
 #include "common/cli.hpp"
+#include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "dataflow/plan.hpp"
@@ -26,19 +35,67 @@ double network_seconds_per_batch(const nn::NetworkModel& net,
   return s;
 }
 
+// Executes a channel-reduced copy of the network's busiest K=3-ish layer
+// and checks the executed cycle count equals the sweep's closed form.
+int spot_check(const nn::NetworkModel& net, chain::ExecMode mode) {
+  nn::ConvLayerParams p = net.conv_layers[net.conv_layers.size() / 2];
+  p.in_channels = std::max<std::int64_t>(1, p.in_channels / 16);
+  p.out_channels = std::max<std::int64_t>(1, p.out_channels / 16);
+  if (p.groups > 1 && (p.in_channels % p.groups != 0 ||
+                       p.out_channels % p.groups != 0))
+    p.groups = 1;
+  p.validate();
+
+  Rng rng(11);
+  Tensor<std::int16_t> x(Shape{1, p.in_channels, p.in_height, p.in_width});
+  Tensor<std::int16_t> w(
+      Shape{p.out_channels, p.channels_per_group(), p.kernel, p.kernel});
+  x.fill_random(rng, -64, 64);
+  w.fill_random(rng, -16, 16);
+
+  chain::AcceleratorConfig cfg;
+  cfg.exec_mode = mode;
+  chain::ChainAccelerator acc(cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto res = acc.run_layer(p, x, w);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+  const std::int64_t executed =
+      res.stats.stream_cycles + res.stats.drain_cycles;
+  const std::int64_t closed_form = res.plan.cycles_per_image();
+  std::cout << "spot check (" << p.name << " channels/16, "
+            << chain::exec_mode_name(mode) << "): executed " << executed
+            << " cycles vs closed-form " << closed_form << " => "
+            << (executed == closed_form ? "match" : "MISMATCH") << ", "
+            << strings::fmt_fixed(wall_ms, 2) << " ms wall\n";
+  return executed == closed_form ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliFlags flags;
   std::string err;
-  const std::map<std::string, std::string> defaults = {{"model", "alexnet"},
-                                                       {"batch", "128"}};
+  const std::map<std::string, std::string> defaults = {
+      {"model", "alexnet"},
+      {"batch", "128"},
+      {"exec-mode", "analytical"}};
   if (!flags.parse(argc, argv, defaults, &err)) {
     std::cerr << err << "\n" << CliFlags::usage(defaults);
     return 1;
   }
   const auto net = nn::model_by_name(flags.get_string("model"));
   const std::int64_t batch = flags.get_int("batch");
+  const std::string exec_mode_str = flags.get_string("exec-mode");
+  chain::ExecMode exec_mode = chain::ExecMode::kAnalytical;
+  if (exec_mode_str != "none" &&
+      !chain::parse_exec_mode(exec_mode_str, &exec_mode)) {
+    std::cerr << "unknown --exec-mode \"" << exec_mode_str
+              << "\" (analytical | cycle-accurate | none)\n";
+    return 1;
+  }
   const energy::EnergyModel model = energy::EnergyModel::paper_calibrated();
 
   // --- chain-length sweep at 700 MHz ---------------------------------------
@@ -104,5 +161,7 @@ int main(int argc, char** argv) {
                 strings::fmt_pct(load_cycles / total_cycles, 2)});
   }
   std::cout << t3.to_ascii() << "\n";
-  return 0;
+
+  if (exec_mode_str == "none") return 0;
+  return spot_check(net, exec_mode);
 }

@@ -1,14 +1,28 @@
 // VGG-16 profiling on Chain-NN: plans all thirteen conv layers at full
-// scale (no simulation needed — the closed forms are validated against
-// the cycle simulator by the test suite) and reports per-layer cycles,
-// utilization, m-group / c-tile structure and traffic. Shows the c-tiling
-// path (C = 512 > 256 kMemory words) and the oMemory-capped residency of
-// the wide early layers.
+// scale and reports per-layer cycles, utilization, m-group / c-tile
+// structure and traffic. Shows the c-tiling path (C = 512 > 256 kMemory
+// words) and the oMemory-capped residency of the wide early layers.
 //
-//   ./vgg16_profile [--batch=4] [--pes=576]
+// The binary then *executes* a channel-reduced proxy of the network
+// (full-size geometry, channels divided by --exec-scale) end to end
+// through NetworkRunner on the selected engine:
+//
+//   --exec-mode=analytical      (default) golden ofmaps + closed-form
+//                               cycles/traffic; fast enough to run every
+//                               invocation.
+//   --exec-mode=cycle-accurate  the register-level simulator (slow).
+//   --exec-mode=compare         both, asserting identical results and
+//                               reporting the wall-clock speedup.
+//   --exec-mode=none            skip execution (plan table only).
+//
+//   ./vgg16_profile [--batch=4] [--pes=576] [--exec-mode=analytical]
+//                   [--exec-scale=16]
+#include <chrono>
 #include <iostream>
 
+#include "chain/network_runner.hpp"
 #include "common/cli.hpp"
+#include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "dataflow/traffic.hpp"
@@ -17,16 +31,91 @@
 
 using namespace chainnn;
 
+namespace {
+
+struct ExecutedRun {
+  chain::NetworkRunResult result;
+  double wall_ms = 0.0;
+};
+
+ExecutedRun execute_proxy(const nn::NetworkModel& proxy,
+                          const dataflow::ArrayShape& array,
+                          chain::ExecMode mode) {
+  chain::AcceleratorConfig cfg;
+  cfg.array = array;
+  cfg.exec_mode = mode;
+  chain::ChainAccelerator acc(cfg);
+  const energy::EnergyModel energy = energy::EnergyModel::paper_calibrated();
+  chain::NetworkRunner runner(acc, energy);
+
+  Rng rng(7);
+  Tensor<std::int16_t> input(
+      Shape{1, proxy.conv_layers.front().in_channels,
+            proxy.conv_layers.front().in_height,
+            proxy.conv_layers.front().in_width});
+  input.fill_random(rng, -64, 64);
+
+  chain::NetworkRunOptions opts;
+  opts.verify_against_golden = false;  // compare mode checks equality
+  // VGG-16 pool placement (2x2/2 after blocks 1..5) so the flowing
+  // activations shrink spatially the way the real network does.
+  opts.inter_layer.assign(proxy.conv_layers.size(), chain::InterLayerOp{});
+  for (const std::size_t after : {1u, 3u, 6u, 9u, 12u}) {
+    if (after < opts.inter_layer.size()) {
+      opts.inter_layer[after].pool = true;
+      opts.inter_layer[after].pool_params = nn::PoolParams{2, 2, 0};
+    }
+  }
+
+  ExecutedRun run;
+  const auto t0 = std::chrono::steady_clock::now();
+  run.result = runner.run(proxy, input, opts);
+  const auto t1 = std::chrono::steady_clock::now();
+  run.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return run;
+}
+
+bool runs_identical(const chain::NetworkRunResult& a,
+                    const chain::NetworkRunResult& b) {
+  if (a.layers.size() != b.layers.size()) return false;
+  if (!(a.final_activations == b.final_activations)) return false;
+  for (std::size_t i = 0; i < a.layers.size(); ++i) {
+    const auto& la = a.layers[i].run;
+    const auto& lb = b.layers[i].run;
+    if (!(la.ofmaps == lb.ofmaps)) return false;
+    if (la.stats.total_cycles() != lb.stats.total_cycles()) return false;
+    if (la.traffic.dram_bytes != lb.traffic.dram_bytes ||
+        la.traffic.imemory_bytes != lb.traffic.imemory_bytes ||
+        la.traffic.kmemory_bytes != lb.traffic.kmemory_bytes ||
+        la.traffic.omemory_bytes != lb.traffic.omemory_bytes)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   CliFlags flags;
   std::string err;
-  const std::map<std::string, std::string> defaults = {{"batch", "4"},
-                                                       {"pes", "576"}};
+  const std::map<std::string, std::string> defaults = {
+      {"batch", "4"},
+      {"pes", "576"},
+      {"exec-mode", "analytical"},
+      {"exec-scale", "16"}};
   if (!flags.parse(argc, argv, defaults, &err)) {
     std::cerr << err << "\n" << CliFlags::usage(defaults);
     return 1;
   }
   const std::int64_t batch = flags.get_int("batch");
+  const std::string exec_mode_str = flags.get_string("exec-mode");
+  chain::ExecMode exec_mode = chain::ExecMode::kAnalytical;
+  if (exec_mode_str != "none" && exec_mode_str != "compare" &&
+      !chain::parse_exec_mode(exec_mode_str, &exec_mode)) {
+    std::cerr << "unknown --exec-mode \"" << exec_mode_str
+              << "\" (analytical | cycle-accurate | compare | none)\n";
+    return 1;
+  }
 
   dataflow::ArrayShape array;
   array.num_pes = flags.get_int("pes");
@@ -74,5 +163,48 @@ int main(int argc, char** argv) {
                "oMemory partial capacity, and C=512 layers run two "
                "kMemory channel residencies\nwith a psum spill between "
                "them.\n";
+
+  if (exec_mode_str == "none") return 0;
+
+  // --- execution: channel-reduced proxy through the selected engine --------
+  const std::int64_t scale = std::max<std::int64_t>(1,
+                                                    flags.get_int("exec-scale"));
+  nn::NetworkModel proxy;
+  proxy.name = net.name + "/" + std::to_string(scale);
+  std::int64_t prev_out = std::max<std::int64_t>(
+      1, net.conv_layers.front().in_channels);  // RGB input stays intact
+  for (nn::ConvLayerParams layer : net.conv_layers) {
+    layer.in_channels = prev_out;
+    layer.out_channels = std::max<std::int64_t>(1, layer.out_channels / scale);
+    layer.validate();
+    prev_out = layer.out_channels;
+    proxy.conv_layers.push_back(layer);
+  }
+
+  std::cout << "\nexecuting " << proxy.name
+            << " (channels/" << scale << ", one image) — exec-mode "
+            << exec_mode_str << "\n";
+  if (exec_mode_str == "compare") {
+    const ExecutedRun fast =
+        execute_proxy(proxy, array, chain::ExecMode::kAnalytical);
+    const ExecutedRun slow =
+        execute_proxy(proxy, array, chain::ExecMode::kCycleAccurate);
+    const bool identical = runs_identical(fast.result, slow.result);
+    std::cout << "cycle-accurate: " << strings::fmt_fixed(slow.wall_ms, 1)
+              << " ms wall, analytical: "
+              << strings::fmt_fixed(fast.wall_ms, 1) << " ms wall => "
+              << strings::fmt_fixed(slow.wall_ms / fast.wall_ms, 1)
+              << "x speedup; ofmaps/cycles/traffic "
+              << (identical ? "identical" : "DIFFER") << "\n";
+    return identical ? 0 : 2;
+  }
+  const ExecutedRun run = execute_proxy(proxy, array, exec_mode);
+  std::cout << "wall: " << strings::fmt_fixed(run.wall_ms, 1)
+            << " ms for " << run.result.layers.size()
+            << " conv layers; modelled "
+            << strings::fmt_fixed(run.result.total_seconds() * 1e3, 2)
+            << " ms/image on-chip ("
+            << strings::fmt_fixed(run.result.fps(batch), 1) << " fps at batch "
+            << batch << ")\n";
   return 0;
 }

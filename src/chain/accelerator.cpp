@@ -4,8 +4,56 @@
 
 #include "common/check.hpp"
 #include "fixed/quantize.hpp"
+#include "nn/golden.hpp"
 
 namespace chainnn::chain {
+
+namespace {
+
+// Replays the cycle-accurate controller's RunStats from the plan's closed
+// forms. Every identity here is pinned against measured counts by the
+// exec-mode equivalence sweep (tests/chain/test_exec_mode.cpp) on top of
+// the existing closed-form tests (Accelerator.MeasuredCyclesMatchPlanClosedForm).
+RunStats analytical_stats(const dataflow::ExecutionPlan& plan,
+                          std::int64_t batch) {
+  RunStats stats;
+  stats.kernel_load_cycles = plan.kernel_load_cycles_per_batch();
+  stats.stream_cycles = batch * plan.stream_cycles_per_image();
+  stats.drain_cycles = plan.drain_cycles();  // overlaps streams; paid once
+  stats.windows_collected = batch * plan.windows_per_image();
+  // The chain MACs zero-padding taps like real ones (phases partition the
+  // K x K taps), so the streamed MAC count is the nominal layer count.
+  stats.macs_performed = batch * plan.layer.macs_per_image();
+  stats.passes = batch * plan.passes_per_image();
+  return stats;
+}
+
+// Charges the closed-form traffic of `plan` to the hierarchy so that the
+// counter deltas (and any later inspection of the hierarchy totals) are
+// identical to a cycle-accurate run. model_traffic's per-operand byte
+// counts already equal the controller's measured charges exactly
+// (Accelerator.MeasuredTrafficMatchesAnalyticModel).
+void charge_analytical_traffic(const dataflow::ExecutionPlan& plan,
+                               std::int64_t batch,
+                               mem::MemoryHierarchy& hierarchy) {
+  const std::uint64_t wb = hierarchy.config().word_bytes;
+  const dataflow::LayerTrafficModel t = dataflow::model_traffic(
+      plan, batch, {wb, hierarchy.config().imemory_bytes, false});
+  hierarchy.imemory().read_words(t.imem_reads / wb);
+  hierarchy.imemory().write_words(t.imem_writes / wb);
+  hierarchy.kmemory().read_words(t.kmem_reads / wb);
+  hierarchy.kmemory().write_words(t.kmem_writes / wb);
+  hierarchy.omemory().read_words(t.omem_reads / wb);
+  hierarchy.omemory().write_words(t.omem_writes / wb);
+  hierarchy.dram().read_bytes(mem::Operand::kIfmap, t.dram_ifmap);
+  hierarchy.dram().read_bytes(mem::Operand::kKernel, t.dram_kernel);
+  hierarchy.dram().write_bytes(mem::Operand::kOfmap, t.dram_ofmap);
+  // Psum spill between channel residencies is one write + one read back.
+  hierarchy.dram().write_bytes(mem::Operand::kPsum, t.dram_psum / 2);
+  hierarchy.dram().read_bytes(mem::Operand::kPsum, t.dram_psum / 2);
+}
+
+}  // namespace
 
 double LayerRunResult::seconds() const {
   return static_cast<double>(stats.total_cycles()) / clock_hz_;
@@ -43,8 +91,26 @@ LayerRunResult ChainAccelerator::run_layer(
   result.clock_hz_ = cfg_.array.clock_hz;
 
   const mem::HierarchySnapshot before = mem::snapshot(hierarchy_);
-  LayerController controller(cfg_, result.plan, hierarchy_);
-  result.accumulators = controller.run(ifmaps, kernels, result.stats);
+  if (cfg_.exec_mode == ExecMode::kAnalytical) {
+    // Fast path: the golden fixed-point model produces the exact
+    // accumulator surface the chain would (it is the oracle the
+    // cycle-accurate datapath is verified against), and the plan's closed
+    // forms reproduce the controller's cycle and traffic accounting.
+    CHAINNN_CHECK(ifmaps.shape() == Shape({layer.batch, layer.in_channels,
+                                           layer.in_height, layer.in_width}));
+    CHAINNN_CHECK(kernels.shape() ==
+                  Shape({layer.out_channels, layer.channels_per_group(),
+                         layer.kernel, layer.kernel}));
+    result.accumulators =
+        cfg_.psum_storage == PsumStorage::kWide
+            ? nn::conv2d_fixed_accum(layer, ifmaps, kernels)
+            : staged_reference(cfg_, result.plan, ifmaps, kernels);
+    result.stats = analytical_stats(result.plan, layer.batch);
+    charge_analytical_traffic(result.plan, layer.batch, hierarchy_);
+  } else {
+    LayerController controller(cfg_, result.plan, hierarchy_);
+    result.accumulators = controller.run(ifmaps, kernels, result.stats);
+  }
   result.traffic = mem::traffic_since(hierarchy_, before, layer.name);
 
   // Requantize to 16-bit ofmaps.

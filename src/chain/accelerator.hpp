@@ -3,7 +3,9 @@
 // Wraps the dataflow compiler (ExecutionPlan), the register-level chain
 // model (SystolicChain + LayerController) and the memory hierarchy into
 // one object that runs convolutional layers bit-exactly and reports
-// cycles, utilization and per-memory traffic.
+// cycles, utilization and per-memory traffic. AcceleratorConfig::exec_mode
+// selects between the cycle-accurate controller and the analytical fast
+// path (same results, closed-form accounting — see config.hpp).
 //
 // Typical use (see examples/quickstart.cpp):
 //
@@ -62,7 +64,10 @@ class ChainAccelerator {
     return hierarchy_;
   }
 
-  // Runs one conv layer (whole batch) on the cycle-accurate chain model.
+  // Runs one conv layer (whole batch) under cfg.exec_mode: either the
+  // cycle-accurate chain model or the analytical fast path, which
+  // returns bit-identical ofmaps/accumulators and identical cycle and
+  // per-level traffic totals orders of magnitude faster.
   // `bias`, if given, is {M} in ofmap format, applied at requantization.
   [[nodiscard]] LayerRunResult run_layer(
       const nn::ConvLayerParams& layer, const Tensor<std::int16_t>& ifmaps,

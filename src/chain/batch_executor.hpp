@@ -19,6 +19,12 @@
 // ofmaps, cycles and traffic against ChainAccelerator::run_layer for
 // num_workers in {1, 2, 8} including non-divisible batch sizes.
 //
+// The executor is exec-mode agnostic: the AcceleratorConfig it clones
+// carries ExecMode, so shards run cycle-accurately or on the analytical
+// fast path as configured, and the same merge identities hold (the
+// analytical path reproduces the controller's per-shard accounting,
+// including the once-per-batch kernel costs the merge de-duplicates).
+//
 // Determinism: the reduction order over shards is fixed (shard 0..S-1
 // regardless of thread completion order) and each worker owns an
 // independent, deterministically seeded RNG stream (seed ^ splitmix(w))

@@ -1,11 +1,45 @@
 // Configuration of a Chain-NN accelerator instance.
 #pragma once
 
+#include <string_view>
+
 #include "dataflow/array_shape.hpp"
 #include "fixed/fixed16.hpp"
 #include "mem/hierarchy.hpp"
 
 namespace chainnn::chain {
+
+// How a layer is executed.
+enum class ExecMode {
+  // Register-level simulation: the LayerController drives the systolic
+  // chain slot by slot. Ground truth for cycles and traffic; slow.
+  kCycleAccurate,
+  // Analytical fast path: ofmaps come from the golden fixed-point model
+  // (bit-identical arithmetic), cycles and per-level traffic from the
+  // plan's closed forms — which the test suite proves equal the measured
+  // counts of the cycle-accurate controller. Orders of magnitude faster;
+  // use it for sweeps, DSE and full-network profiling.
+  kAnalytical,
+};
+
+[[nodiscard]] constexpr const char* exec_mode_name(ExecMode m) {
+  return m == ExecMode::kAnalytical ? "analytical" : "cycle-accurate";
+}
+
+// Parses "analytical" / "cycle-accurate" (also "cycle"); returns true on
+// success. Used by the --exec-mode flags of the bench/example binaries.
+[[nodiscard]] constexpr bool parse_exec_mode(std::string_view name,
+                                             ExecMode* out) {
+  if (name == "analytical") {
+    *out = ExecMode::kAnalytical;
+    return true;
+  }
+  if (name == "cycle-accurate" || name == "cycle") {
+    *out = ExecMode::kCycleAccurate;
+    return true;
+  }
+  return false;
+}
 
 // How oMemory stores partial sums between accumulation passes.
 enum class PsumStorage {
@@ -31,6 +65,11 @@ struct AcceleratorConfig {
   fixed::Rounding rounding = fixed::Rounding::kNearestEven;
 
   PsumStorage psum_storage = PsumStorage::kWide;
+
+  // Execution engine. The analytical fast path returns bit-identical
+  // ofmaps and identical cycle/traffic totals (pinned by the exec-mode
+  // equivalence sweep in tests/chain/test_exec_mode.cpp).
+  ExecMode exec_mode = ExecMode::kCycleAccurate;
 };
 
 }  // namespace chainnn::chain

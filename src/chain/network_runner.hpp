@@ -1,11 +1,13 @@
 // NetworkRunner: executes a whole convolutional network on Chain-NN — the
-// conv layers cycle-accurately on the chain, the host-side layers (ReLU,
+// conv layers on the chain (cycle-accurately or on the analytical fast
+// path, see NetworkRunOptions::exec_mode), the host-side layers (ReLU,
 // pooling) in between — and rolls per-layer results up into the
 // batch-level figures the paper reports (fps, time split, traffic,
 // modelled power/energy).
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "chain/accelerator.hpp"
@@ -55,6 +57,11 @@ struct NetworkRunOptions {
   // worker threads (BatchExecutor). 1 = today's serial path, bit-exactly;
   // any value produces bit-identical ofmaps, cycles and traffic.
   std::int64_t num_workers = 1;
+  // Overrides the accelerator's configured ExecMode for this run (e.g. a
+  // cycle-accurate-configured accelerator can profile a network on the
+  // analytical fast path without being reconfigured). nullopt keeps the
+  // accelerator's own cfg.exec_mode.
+  std::optional<ExecMode> exec_mode;
 };
 
 class NetworkRunner {

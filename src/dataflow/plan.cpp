@@ -151,6 +151,13 @@ double ExecutionPlan::seconds_per_batch(std::int64_t batch) const {
   return static_cast<double>(cycles_per_batch(batch)) / array.clock_hz;
 }
 
+std::int64_t ExecutionPlan::passes_per_image() const {
+  std::int64_t strips = 0;
+  for (const SubConvPlan& sp : subconvs)
+    strips += static_cast<std::int64_t>(sp.strips.size());
+  return m_groups * layer.channels_per_group() * strips;
+}
+
 std::int64_t ExecutionPlan::windows_per_image() const {
   std::int64_t per_mc = 0;
   for (const SubConvPlan& sp : subconvs)

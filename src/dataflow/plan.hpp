@@ -108,6 +108,17 @@ struct ExecutionPlan {
   [[nodiscard]] std::int64_t cycles_per_batch(std::int64_t batch) const;
   [[nodiscard]] double seconds_per_batch(std::int64_t batch) const;
 
+  // Stream slots the controller spends on one image (cycles_per_image
+  // without the once-per-run drain). The analytical engine replays this
+  // and the two counts below in place of the measured RunStats.
+  [[nodiscard]] std::int64_t stream_cycles_per_image() const {
+    return cycles_per_image() - drain_cycles();
+  }
+
+  // Strip passes the controller issues per image (one per
+  // (m_group, channel, phase, strip)).
+  [[nodiscard]] std::int64_t passes_per_image() const;
+
   // Window completions per image (one per (m, c, phase, output site)).
   [[nodiscard]] std::int64_t windows_per_image() const;
 

@@ -12,6 +12,7 @@ std::string FixedFormat::to_string() const {
 void NarrowingStats::merge(const NarrowingStats& other) {
   count += other.count;
   saturations += other.saturations;
+  invalids += other.invalids;
   if (other.max_abs_error > max_abs_error)
     max_abs_error = other.max_abs_error;
   sum_sq_error += other.sum_sq_error;
@@ -33,18 +34,40 @@ std::int16_t saturate16(std::int64_t v, Overflow overflow,
   return static_cast<std::int16_t>(v);
 }
 
+// Round half to even without consulting the floating-point environment.
+// std::nearbyint honours the fenv rounding mode, so a caller running
+// under e.g. FE_DOWNWARD would silently change every quantized word.
+// For |x| < 2^52, floor(x) and x - floor(x) are exact in double, so the
+// tie test is exact; for |x| >= 2^52 every double is an integer already.
+double round_half_to_even(double x) {
+  const double f = std::floor(x);
+  const double frac = x - f;
+  if (frac > 0.5) return f + 1.0;
+  if (frac < 0.5) return f;
+  return std::fmod(f, 2.0) == 0.0 ? f : f + 1.0;
+}
+
 }  // namespace
 
 std::int16_t quantize_scalar(double value, FixedFormat fmt,
                              Rounding rounding, Overflow overflow,
                              NarrowingStats* stats) {
+  if (std::isnan(value)) {
+    // NaN has no fixed-point image. nearbyint(NaN) stays NaN, both clamp
+    // comparisons below are false, and casting NaN to int64 is undefined
+    // behaviour — define the result as 0 and count the event instead.
+    if (stats) {
+      ++stats->count;
+      ++stats->invalids;
+    }
+    return 0;
+  }
   const double scaled = value * fmt.scale();
   double rounded = 0.0;
   switch (rounding) {
-    case Rounding::kNearestEven: {
-      rounded = std::nearbyint(scaled);  // assumes FE_TONEAREST (default)
+    case Rounding::kNearestEven:
+      rounded = round_half_to_even(scaled);
       break;
-    }
     case Rounding::kNearestUp:
       rounded = std::round(scaled);
       break;
@@ -54,7 +77,8 @@ std::int16_t quantize_scalar(double value, FixedFormat fmt,
       rounded = std::floor(scaled);
       break;
   }
-  // Clamp through a 64-bit value before saturation so huge floats are safe.
+  // Clamp through a 64-bit value before saturation so huge floats — and
+  // ±Inf, which survives the rounding above — are safe to cast.
   double clamped = rounded;
   if (clamped > 1e18) clamped = 1e18;
   if (clamped < -1e18) clamped = -1e18;
@@ -62,10 +86,12 @@ std::int16_t quantize_scalar(double value, FixedFormat fmt,
   const std::int16_t raw = saturate16(wide, overflow, stats);
   if (stats) {
     ++stats->count;
-    const double err = value - static_cast<double>(raw) / fmt.scale();
-    const double abs_err = std::fabs(err);
-    if (abs_err > stats->max_abs_error) stats->max_abs_error = abs_err;
-    stats->sum_sq_error += err * err;
+    if (std::isfinite(value)) {
+      const double err = value - static_cast<double>(raw) / fmt.scale();
+      const double abs_err = std::fabs(err);
+      if (abs_err > stats->max_abs_error) stats->max_abs_error = abs_err;
+      stats->sum_sq_error += err * err;
+    }
   }
   return raw;
 }

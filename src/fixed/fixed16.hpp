@@ -83,9 +83,16 @@ class Fixed16 {
 
 // Statistics gathered while narrowing values (quantization telemetry the
 // paper's float-to-fixed simulator produced to pick formats).
+//
+// `invalids` counts inputs with no fixed-point image (NaN), which
+// quantize to 0; `saturations` counts out-of-range inputs (including
+// ±Inf) clamped to the format limits. Non-finite inputs are excluded
+// from the error accumulators so max_abs_error / mean_sq_error stay
+// finite and meaningful.
 struct NarrowingStats {
   std::uint64_t count = 0;
   std::uint64_t saturations = 0;
+  std::uint64_t invalids = 0;  // NaN inputs mapped to 0
   double max_abs_error = 0.0;
   double sum_sq_error = 0.0;
 
@@ -97,6 +104,12 @@ struct NarrowingStats {
 
 // Converts `value` to raw fixed-point under `fmt` with the given rounding
 // and overflow behaviour; updates `stats` if non-null.
+//
+// Non-finite inputs are well defined: NaN quantizes to 0 (counted in
+// stats->invalids) and ±Inf saturates to the format limits (counted in
+// stats->saturations). kNearestEven rounds half to even regardless of
+// the process floating-point environment — a caller that has changed
+// the fenv rounding mode (std::fesetround) gets the same raw words.
 [[nodiscard]] std::int16_t quantize_scalar(double value, FixedFormat fmt,
                                            Rounding rounding,
                                            Overflow overflow,

@@ -9,11 +9,22 @@
 namespace chainnn::fixed {
 
 FixedFormat choose_format(std::span<const float> values,
-                          FormatPolicy policy) {
-  if (policy == FormatPolicy::kFixedQ8_8) return FixedFormat{8};
-
+                          FormatPolicy policy, FormatScanStats* scan) {
   double max_abs = 0.0;
-  for (float v : values) max_abs = std::max(max_abs, std::fabs(double{v}));
+  for (float v : values) {
+    if (std::isnan(v)) {
+      // NaN carries no magnitude; feeding it through std::max would make
+      // the result depend on argument order (NaN comparisons are false).
+      if (scan) ++scan->nan_count;
+      continue;
+    }
+    if (scan && std::isinf(v)) ++scan->inf_count;
+    const double a = std::fabs(double{v});
+    if (a > max_abs) max_abs = a;
+  }
+  if (scan) scan->max_abs = max_abs;
+
+  if (policy == FormatPolicy::kFixedQ8_8) return FixedFormat{8};
   if (max_abs == 0.0) return FixedFormat{15};
 
   // Find the largest frac_bits in [0, 15] whose max representable value

@@ -25,10 +25,24 @@ struct QuantizedTensor {
   NarrowingStats stats;
 };
 
+// Telemetry from the dynamic-range scan behind format selection.
+struct FormatScanStats {
+  std::uint64_t nan_count = 0;  // NaN inputs (carry no magnitude, skipped)
+  std::uint64_t inf_count = 0;  // ±Inf inputs (force the widest range)
+  double max_abs = 0.0;         // over the non-NaN inputs (±Inf propagates)
+};
+
 // Chooses a format for `values` under `policy`. With kMaxAbs, an all-zero
 // input gets the maximum precision format (frac_bits = 15).
+//
+// The scan is deterministic for non-finite data: NaN contributes no
+// magnitude (it is counted in `scan`, not fed through std::max, whose
+// result for NaN operands depends on argument order), and ±Inf exceeds
+// every representable range, forcing Q15.0. Pass `scan` to observe how
+// many such values were seen.
 [[nodiscard]] FixedFormat choose_format(std::span<const float> values,
-                                        FormatPolicy policy);
+                                        FormatPolicy policy,
+                                        FormatScanStats* scan = nullptr);
 
 // Quantizes `values` into 16-bit raw words under `fmt`.
 [[nodiscard]] QuantizedTensor quantize(std::span<const float> values,

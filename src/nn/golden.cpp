@@ -1,5 +1,7 @@
 #include "nn/golden.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace chainnn::nn {
@@ -74,26 +76,59 @@ Tensor<std::int64_t> conv2d_fixed_accum(const ConvLayerParams& p,
                                  p.out_width()});
   const std::int64_t cg = p.channels_per_group();
   const std::int64_t m_per_g = p.out_channels_per_group();
+  const std::int64_t h = p.in_height;
+  const std::int64_t w = p.in_width;
+  const std::int64_t k = p.kernel;
+  const std::int64_t s = p.stride;
+  const std::int64_t pr = p.pad_rows();
+  const std::int64_t pc = p.pad_cols();
 
-  for_each_output(p, [&](std::int64_t n, std::int64_t m, std::int64_t oy,
-                         std::int64_t ox) {
-    const std::int64_t g = m / m_per_g;
-    fixed::Accumulator48 acc;
-    for (std::int64_t c = 0; c < cg; ++c) {
-      const std::int64_t ic = g * cg + c;
-      for (std::int64_t ky = 0; ky < p.kernel; ++ky) {
-        const std::int64_t iy = oy * p.stride + ky - p.pad_rows();
-        if (iy < 0 || iy >= p.in_height) continue;
-        for (std::int64_t kx = 0; kx < p.kernel; ++kx) {
-          const std::int64_t ix = ox * p.stride + kx - p.pad_cols();
-          if (ix < 0 || ix >= p.in_width) continue;
-          acc.mac(fixed::Fixed16(ifmaps.at(n, ic, iy, ix)),
-                  fixed::Fixed16(kernels.at(m, c, ky, kx)));
+  // Raw-pointer loop nest (this is the analytical engine's hot path). The
+  // accumulation order over (c, ky, kx) and the per-MAC sticky 48-bit
+  // saturation are exactly Accumulator48::mac's, so the result is
+  // bit-identical to the accessor-based reference it replaces; the padding
+  // tests are hoisted out of the kx loop as tap-range bounds.
+  const std::int16_t* x = ifmaps.data().data();
+  const std::int16_t* ker = kernels.data().data();
+  std::int64_t* o = out.mutable_data().data();
+  for (std::int64_t n = 0; n < p.batch; ++n) {
+    const std::int16_t* xn = x + n * p.in_channels * h * w;
+    for (std::int64_t m = 0; m < p.out_channels; ++m) {
+      const std::int16_t* wm = ker + m * cg * k * k;
+      const std::int16_t* xg = xn + (m / m_per_g) * cg * h * w;
+      for (std::int64_t oy = 0; oy < p.out_height(); ++oy) {
+        const std::int64_t ky_lo = std::max<std::int64_t>(0, pr - oy * s);
+        const std::int64_t ky_hi = std::min(k, h + pr - oy * s);
+        for (std::int64_t ox = 0; ox < p.out_width(); ++ox) {
+          const std::int64_t kx_lo = std::max<std::int64_t>(0, pc - ox * s);
+          const std::int64_t kx_hi = std::min(k, w + pc - ox * s);
+          // Column offset of tap kx into the ifmap row; ix0 + kx_lo >= 0,
+          // so only in-bounds pointers/indices are ever formed (forming a
+          // pointer before the buffer would itself be UB).
+          const std::int64_t ix0 = ox * s - pc;
+          std::int64_t acc = 0;
+          for (std::int64_t c = 0; c < cg; ++c) {
+            const std::int16_t* xc = xg + c * h * w;
+            const std::int16_t* wc = wm + c * k * k;
+            for (std::int64_t ky = ky_lo; ky < ky_hi; ++ky) {
+              const std::int16_t* xrow = xc + (oy * s + ky - pr) * w;
+              const std::int16_t* wrow = wc + ky * k;
+              for (std::int64_t kx = kx_lo; kx < kx_hi; ++kx) {
+                acc += static_cast<std::int64_t>(
+                    static_cast<std::int32_t>(xrow[ix0 + kx]) *
+                    static_cast<std::int32_t>(wrow[kx]));
+                if (acc > fixed::Accumulator48::kMax)
+                  acc = fixed::Accumulator48::kMax;
+                else if (acc < fixed::Accumulator48::kMin)
+                  acc = fixed::Accumulator48::kMin;
+              }
+            }
+          }
+          *o++ = acc;
         }
       }
     }
-    out.at(n, m, oy, ox) = acc.value();
-  });
+  }
   return out;
 }
 

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cfenv>
 #include <cmath>
+#include <limits>
 
 #include "common/rng.hpp"
 
@@ -62,6 +64,78 @@ TEST(QuantizeScalar, RoundHalfToEven) {
   EXPECT_EQ(quantize_scalar(-2.5, q0, Rounding::kNearestEven,
                             Overflow::kSaturate),
             -2);
+}
+
+TEST(QuantizeScalar, NanQuantizesToZeroAndIsCounted) {
+  // Regression: NaN used to survive nearbyint, fail both clamp
+  // comparisons and reach the NaN -> int64 cast (undefined behaviour).
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (const Rounding r :
+       {Rounding::kNearestEven, Rounding::kNearestUp, Rounding::kTruncate}) {
+    NarrowingStats stats;
+    EXPECT_EQ(quantize_scalar(nan, FixedFormat{8}, r, Overflow::kSaturate,
+                              &stats),
+              0);
+    EXPECT_EQ(stats.count, 1u);
+    EXPECT_EQ(stats.invalids, 1u);
+    EXPECT_EQ(stats.saturations, 0u);
+    EXPECT_EQ(quantize_scalar(-nan, FixedFormat{8}, r, Overflow::kWrap), 0);
+  }
+}
+
+TEST(QuantizeScalar, InfinitySaturatesCleanly) {
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const Rounding r :
+       {Rounding::kNearestEven, Rounding::kNearestUp, Rounding::kTruncate}) {
+    NarrowingStats stats;
+    EXPECT_EQ(quantize_scalar(inf, FixedFormat{8}, r, Overflow::kSaturate,
+                              &stats),
+              32767);
+    EXPECT_EQ(quantize_scalar(-inf, FixedFormat{8}, r, Overflow::kSaturate,
+                              &stats),
+              -32768);
+    EXPECT_EQ(stats.saturations, 2u);
+    EXPECT_EQ(stats.invalids, 0u);
+    // Non-finite inputs must not blow up the error telemetry.
+    EXPECT_TRUE(std::isfinite(stats.max_abs_error));
+    EXPECT_TRUE(std::isfinite(stats.sum_sq_error));
+  }
+}
+
+TEST(QuantizeScalar, NearestEvenIgnoresFenvRoundingMode) {
+  // Regression: kNearestEven used nearbyint, which honours the process
+  // fenv — a caller under FE_DOWNWARD/FE_UPWARD changed every result.
+  const FixedFormat q0{0};
+  const int saved = std::fegetround();
+  for (const int mode :
+       {FE_DOWNWARD, FE_UPWARD, FE_TOWARDZERO, FE_TONEAREST}) {
+    ASSERT_EQ(std::fesetround(mode), 0);
+    EXPECT_EQ(quantize_scalar(2.5, q0, Rounding::kNearestEven,
+                              Overflow::kSaturate),
+              2)
+        << "fenv mode " << mode;
+    EXPECT_EQ(quantize_scalar(3.5, q0, Rounding::kNearestEven,
+                              Overflow::kSaturate),
+              4)
+        << "fenv mode " << mode;
+    EXPECT_EQ(quantize_scalar(-2.5, q0, Rounding::kNearestEven,
+                              Overflow::kSaturate),
+              -2)
+        << "fenv mode " << mode;
+    EXPECT_EQ(quantize_scalar(0.3, FixedFormat{8}, Rounding::kNearestEven,
+                              Overflow::kSaturate),
+              77)  // 76.8 rounds to 77 regardless of fenv
+        << "fenv mode " << mode;
+  }
+  std::fesetround(saved);
+}
+
+TEST(NarrowingStats, MergeCombinesInvalids) {
+  NarrowingStats a, b;
+  a.invalids = 2;
+  b.invalids = 3;
+  a.merge(b);
+  EXPECT_EQ(a.invalids, 5u);
 }
 
 TEST(QuantizeScalar, TruncateIsFloor) {

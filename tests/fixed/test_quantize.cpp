@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -31,6 +32,55 @@ TEST(ChooseFormat, AllZeroGetsMaxPrecision) {
 TEST(ChooseFormat, FixedPolicyAlwaysQ8) {
   const std::vector<float> big = {1000.0f};
   EXPECT_EQ(choose_format(big, FormatPolicy::kFixedQ8_8).frac_bits, 8);
+}
+
+TEST(ChooseFormat, NanIgnoredDeterministically) {
+  // Regression: the max-abs scan fed NaN through std::max, whose result
+  // depends on argument order when a comparison involves NaN. NaN must
+  // contribute no magnitude regardless of where it sits in the tensor.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<float> leading = {nan, 1.0f, -0.5f};
+  const std::vector<float> trailing = {1.0f, -0.5f, nan};
+  const std::vector<float> interleaved = {1.0f, nan, -0.5f, nan};
+  const std::vector<float> clean = {1.0f, -0.5f};
+  const FixedFormat expect = choose_format(clean, FormatPolicy::kMaxAbs);
+  EXPECT_EQ(choose_format(leading, FormatPolicy::kMaxAbs), expect);
+  EXPECT_EQ(choose_format(trailing, FormatPolicy::kMaxAbs), expect);
+  EXPECT_EQ(choose_format(interleaved, FormatPolicy::kMaxAbs), expect);
+
+  FormatScanStats scan;
+  EXPECT_EQ(choose_format(interleaved, FormatPolicy::kMaxAbs, &scan), expect);
+  EXPECT_EQ(scan.nan_count, 2u);
+  EXPECT_EQ(scan.inf_count, 0u);
+  EXPECT_DOUBLE_EQ(scan.max_abs, 1.0);
+}
+
+TEST(ChooseFormat, AllNanBehavesLikeAllZero) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<float> nans = {nan, nan, nan};
+  EXPECT_EQ(choose_format(nans, FormatPolicy::kMaxAbs).frac_bits, 15);
+}
+
+TEST(ChooseFormat, InfinityForcesWidestRange) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const std::vector<float> values = {0.25f, -inf, 0.5f};
+  FormatScanStats scan;
+  EXPECT_EQ(choose_format(values, FormatPolicy::kMaxAbs, &scan).frac_bits,
+            0);
+  EXPECT_EQ(scan.inf_count, 1u);
+}
+
+TEST(QuantizeAuto, NanTensorIsDeterministic) {
+  // End to end: a tensor with NaN holes quantizes the same raw words in
+  // any scan order, the NaNs land as 0 and are reported as invalids.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<float> values = {nan, 0.75f, -0.25f, nan, 0.5f};
+  const QuantizedTensor q = quantize_auto(values);
+  EXPECT_EQ(q.format.frac_bits, 15);
+  EXPECT_EQ(q.raw[0], 0);
+  EXPECT_EQ(q.raw[3], 0);
+  EXPECT_EQ(q.stats.invalids, 2u);
+  EXPECT_EQ(q.stats.count, values.size());
 }
 
 TEST(Quantize, NoSaturationUnderChosenFormat) {
