@@ -25,6 +25,7 @@
 #include <string>
 
 #include "chain/accelerator.hpp"
+#include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
@@ -199,29 +200,17 @@ BENCHMARK(BM_PlanAlexNet);
 }  // namespace
 
 int main(int argc, char** argv) {
-  chain::ExecMode mode = chain::ExecMode::kAnalytical;
-  bool compare = false;
-  // Strip --exec-mode before google-benchmark sees the argv.
-  int out = 1;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const std::string prefix = "--exec-mode=";
-    if (arg.rfind(prefix, 0) == 0) {
-      const std::string value = arg.substr(prefix.size());
-      if (value == "compare") {
-        compare = true;
-      } else if (!chain::parse_exec_mode(value, &mode)) {
-        std::cerr << "unknown --exec-mode \"" << value
-                  << "\" (analytical | cycle-accurate | compare)\n";
-        return 1;
-      }
-      continue;
-    }
-    argv[out++] = argv[i];
+  // Strip --exec-mode before google-benchmark sees the argv (shared
+  // helper; vgg16_profile / design_space use the CliFlags form).
+  ExecModeSelection sel;
+  std::string err;
+  if (!consume_exec_mode_flag(&argc, argv, /*allow_compare=*/true,
+                              /*allow_none=*/false, &sel, &err)) {
+    std::cerr << err << "\n";
+    return 1;
   }
-  argc = out;
 
-  const bool ok = print_fig9(mode, compare);
+  const bool ok = print_fig9(sel.mode, sel.compare);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return ok ? 0 : 2;

@@ -6,11 +6,26 @@
 // [--channels 4] [--kernel 3] [--repeats 3]` times the serial path
 // against the BatchExecutor worker pool on the same batch, checks the
 // results are bit-identical, and prints one JSON object to stdout.
+//
+// Serve mode: `bench_micro --serve [--requests 12] [--serve-threads 2]
+// [--serve-model lenet] [--serve-scale 2] [--serve-batch 2]
+// [--fidelity-every 4] [--json BENCH_serve.json]` times the same
+// request mix through an InferenceServer on each engine (warm plan
+// cache, fidelity sampling off so no replay pollutes a timing window),
+// then runs an untimed fidelity pass (1-in-N of the nominal traffic,
+// every request cross-checked), and emits one machine-readable JSON
+// object (requests/sec analytical vs cycle-accurate, plan-cache hit
+// rate, fidelity counters) to stdout and to --json, seeding the serving
+// perf trajectory in CI.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "chain/accelerator.hpp"
 #include "chain/batch_executor.hpp"
@@ -20,6 +35,8 @@
 #include "fixed/quantize.hpp"
 #include "nn/golden.hpp"
 #include "nn/models.hpp"
+#include "serve/inference_server.hpp"
+#include "serve/sweep_driver.hpp"
 
 namespace {
 
@@ -186,11 +203,135 @@ int run_batch_bench(int argc, const char* const* argv) {
   return identical ? 0 : 2;
 }
 
+// Times `count` identical requests on one engine through `server`,
+// waiting for all of them; returns requests/sec.
+double time_requests(serve::InferenceServer& server,
+                     const nn::NetworkModel& net, std::int64_t batch,
+                     std::int64_t count, chain::ExecMode mode) {
+  std::vector<std::future<serve::InferenceResult>> futures;
+  futures.reserve(static_cast<std::size_t>(count));
+  serve::RequestOptions ro;
+  ro.exec_mode = mode;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::int64_t i = 0; i < count; ++i)
+    futures.push_back(server.submit(net, batch, ro));
+  for (auto& f : futures) f.get();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  return secs == 0.0 ? 0.0 : static_cast<double>(count) / secs;
+}
+
+int run_serve_bench(int argc, const char* const* argv) {
+  CliFlags flags;
+  const std::map<std::string, std::string> defaults = {
+      {"serve", "true"},         {"requests", "8"},
+      {"serve-threads", "2"},    {"serve-model", "lenet"},
+      {"serve-scale", "2"},      {"serve-batch", "2"},
+      {"fidelity-every", "4"},   {"json", "BENCH_serve.json"}};
+  std::string error;
+  if (!flags.parse(argc, argv, defaults, &error)) {
+    std::cerr << "bench_micro serve mode: " << error << "\n"
+              << CliFlags::usage(defaults);
+    return 1;
+  }
+  const std::int64_t requests = std::max<std::int64_t>(1,
+                                                       flags.get_int("requests"));
+  const std::int64_t batch = std::max<std::int64_t>(1,
+                                                    flags.get_int("serve-batch"));
+  const std::int64_t fidelity_every = flags.get_int("fidelity-every");
+  const nn::NetworkModel net = serve::channel_reduced_proxy(
+      nn::model_by_name(flags.get_string("serve-model")),
+      std::max<std::int64_t>(1, flags.get_int("serve-scale")));
+
+  // Timing server: fidelity sampling OFF so no cycle-accurate replay
+  // lands inside the analytical timing window (and vice versa).
+  auto cache = std::make_shared<serve::PlanCache>();
+  serve::ServerOptions so;
+  so.num_threads = std::max<std::int64_t>(1, flags.get_int("serve-threads"));
+  so.fidelity_sample_every_n = 0;
+  so.plan_cache = cache;
+  serve::InferenceServer server(so);
+
+  // Warm-up: one untimed request per engine, so both timed windows run
+  // against a warm plan cache and steady worker threads.
+  {
+    serve::RequestOptions warm;
+    warm.exec_mode = chain::ExecMode::kAnalytical;
+    (void)server.submit(net, batch, warm).get();
+    warm.exec_mode = chain::ExecMode::kCycleAccurate;
+    (void)server.submit(net, batch, warm).get();
+  }
+
+  // Cache counters are reported as the delta over the timed windows
+  // only, so the metric tracks serving-path caching and not warm-up or
+  // fidelity-replay lookups.
+  const serve::PlanCacheStats cache_before = cache->stats();
+  const double analytical_rps = time_requests(
+      server, net, batch, requests, chain::ExecMode::kAnalytical);
+  const double cycle_rps = time_requests(
+      server, net, batch, requests, chain::ExecMode::kCycleAccurate);
+  const serve::PlanCacheStats cache_after = cache->stats();
+  const serve::PlanCacheStats timed{cache_after.hits - cache_before.hits,
+                                    cache_after.misses - cache_before.misses,
+                                    cache_after.entries};
+
+  // Fidelity pass, untimed: its own server (sampling every request,
+  // 1-in-N of the nominal traffic) on the same shared cache.
+  std::int64_t fidelity_samples = 0;
+  std::int64_t fidelity_divergences = 0;
+  if (fidelity_every > 0) {
+    serve::ServerOptions fso = so;
+    fso.fidelity_sample_every_n = 1;
+    serve::InferenceServer fidelity_server(fso);
+    const std::int64_t samples =
+        std::max<std::int64_t>(1, requests / fidelity_every);
+    std::vector<std::future<serve::InferenceResult>> futures;
+    for (std::int64_t i = 0; i < samples; ++i)
+      futures.push_back(fidelity_server.submit(net, batch, {}));
+    for (auto& f : futures) f.get();
+    const serve::ServerStats fs = fidelity_server.stats();
+    fidelity_samples = fs.fidelity_samples;
+    fidelity_divergences = fs.fidelity_divergences;
+  }
+
+  const serve::ServerStats stats = server.stats();
+  std::ostringstream json;
+  json << "{\"model\": \"" << net.name << "\", \"requests_per_mode\": "
+       << requests << ", \"batch\": " << batch
+       << ", \"serve_threads\": " << so.num_threads
+       << ", \"analytical_rps\": " << analytical_rps
+       << ", \"cycle_accurate_rps\": " << cycle_rps
+       << ", \"speedup\": "
+       << (cycle_rps == 0.0 ? 0.0 : analytical_rps / cycle_rps)
+       << ", \"cache_hits\": " << timed.hits
+       << ", \"cache_misses\": " << timed.misses
+       << ", \"cache_hit_rate\": " << timed.hit_rate()
+       << ", \"fidelity_samples\": " << fidelity_samples
+       << ", \"fidelity_divergences\": " << fidelity_divergences
+       << ", \"timed_requests\": " << 2 * requests
+       << ", \"failed\": " << stats.failed << "}";
+  std::cout << json.str() << "\n";
+
+  const std::string path = flags.get_string("json");
+  if (!path.empty() && path != "-") {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write " << path << "\n";
+      return 1;
+    }
+    out << json.str() << "\n";
+  }
+  // The serving bench doubles as a smoke check: every request must
+  // complete and every fidelity sample must cross-check clean.
+  return stats.failed == 0 && fidelity_divergences == 0 ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg.rfind("--serve", 0) == 0) return run_serve_bench(argc, argv);
     if (arg.rfind("--batch", 0) == 0 || arg.rfind("--workers", 0) == 0)
       return run_batch_bench(argc, argv);
   }

@@ -3,24 +3,32 @@
 // the §III.B claim that the 1D chain "involves fewer overheads when
 // scaled up to a higher parallelism or clock frequency" made quantitative.
 //
-// The sweep itself uses the plan's closed forms (which ARE the analytical
-// engine's timing model); a final spot check executes one channel-reduced
-// layer through ChainAccelerator on the selected engine and confirms the
-// sweep's closed-form cycles against executed cycles.
+// Two views:
+//   1. closed-form tables straight from the plans (instant, every chain
+//      length / clock / batch), as before;
+//   2. an *executed* sweep (serve::SweepDriver): a channel-reduced proxy
+//      of the network actually runs end to end at every design point
+//      through one InferenceServer, with a single PlanCache shared
+//      across the points — per-point executed cycles / energy / fps plus
+//      the plan-cache hit rate the sharing bought. Clock-variant points
+//      share every plan with the 576-PE point (the clock is outside the
+//      plan key), so the reported hit rate must be > 0; the binary exits
+//      non-zero if it is not, or if any fidelity sample diverges.
 //
 //   ./design_space [--model=alexnet] [--batch=128]
 //                  [--exec-mode=analytical|cycle-accurate|none]
-#include <chrono>
+//                  [--workers=1] [--exec-scale=16] [--sweep-batch=2]
+//                  [--points=0 (0 = all)] [--fidelity-every=0]
+#include <algorithm>
 #include <iostream>
 
-#include "chain/accelerator.hpp"
 #include "common/cli.hpp"
-#include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "dataflow/plan.hpp"
 #include "energy/energy_model.hpp"
 #include "nn/models.hpp"
+#include "serve/sweep_driver.hpp"
 
 using namespace chainnn;
 
@@ -35,69 +43,9 @@ double network_seconds_per_batch(const nn::NetworkModel& net,
   return s;
 }
 
-// Executes a channel-reduced copy of the network's busiest K=3-ish layer
-// and checks the executed cycle count equals the sweep's closed form.
-int spot_check(const nn::NetworkModel& net, chain::ExecMode mode) {
-  nn::ConvLayerParams p = net.conv_layers[net.conv_layers.size() / 2];
-  p.in_channels = std::max<std::int64_t>(1, p.in_channels / 16);
-  p.out_channels = std::max<std::int64_t>(1, p.out_channels / 16);
-  if (p.groups > 1 && (p.in_channels % p.groups != 0 ||
-                       p.out_channels % p.groups != 0))
-    p.groups = 1;
-  p.validate();
-
-  Rng rng(11);
-  Tensor<std::int16_t> x(Shape{1, p.in_channels, p.in_height, p.in_width});
-  Tensor<std::int16_t> w(
-      Shape{p.out_channels, p.channels_per_group(), p.kernel, p.kernel});
-  x.fill_random(rng, -64, 64);
-  w.fill_random(rng, -16, 16);
-
-  chain::AcceleratorConfig cfg;
-  cfg.exec_mode = mode;
-  chain::ChainAccelerator acc(cfg);
-  const auto t0 = std::chrono::steady_clock::now();
-  const auto res = acc.run_layer(p, x, w);
-  const auto t1 = std::chrono::steady_clock::now();
-  const double wall_ms =
-      std::chrono::duration<double, std::milli>(t1 - t0).count();
-
-  const std::int64_t executed =
-      res.stats.stream_cycles + res.stats.drain_cycles;
-  const std::int64_t closed_form = res.plan.cycles_per_image();
-  std::cout << "spot check (" << p.name << " channels/16, "
-            << chain::exec_mode_name(mode) << "): executed " << executed
-            << " cycles vs closed-form " << closed_form << " => "
-            << (executed == closed_form ? "match" : "MISMATCH") << ", "
-            << strings::fmt_fixed(wall_ms, 2) << " ms wall\n";
-  return executed == closed_form ? 0 : 2;
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  CliFlags flags;
-  std::string err;
-  const std::map<std::string, std::string> defaults = {
-      {"model", "alexnet"},
-      {"batch", "128"},
-      {"exec-mode", "analytical"}};
-  if (!flags.parse(argc, argv, defaults, &err)) {
-    std::cerr << err << "\n" << CliFlags::usage(defaults);
-    return 1;
-  }
-  const auto net = nn::model_by_name(flags.get_string("model"));
-  const std::int64_t batch = flags.get_int("batch");
-  const std::string exec_mode_str = flags.get_string("exec-mode");
-  chain::ExecMode exec_mode = chain::ExecMode::kAnalytical;
-  if (exec_mode_str != "none" &&
-      !chain::parse_exec_mode(exec_mode_str, &exec_mode)) {
-    std::cerr << "unknown --exec-mode \"" << exec_mode_str
-              << "\" (analytical | cycle-accurate | none)\n";
-    return 1;
-  }
-  const energy::EnergyModel model = energy::EnergyModel::paper_calibrated();
-
+void print_closed_form_tables(const nn::NetworkModel& net,
+                              std::int64_t batch,
+                              const energy::EnergyModel& model) {
   // --- chain-length sweep at 700 MHz ---------------------------------------
   TextTable t1("DSE — chain length sweep @700MHz (" + net.name +
                ", batch " + std::to_string(batch) + ")");
@@ -161,7 +109,107 @@ int main(int argc, char** argv) {
                 strings::fmt_pct(load_cycles / total_cycles, 2)});
   }
   std::cout << t3.to_ascii() << "\n";
+}
 
-  if (exec_mode_str == "none") return 0;
-  return spot_check(net, exec_mode);
+// Executes the proxy network at every design point through the server,
+// prints the per-point executed figures, and returns the exit code
+// (0 unless the shared cache never hit or a fidelity sample diverged).
+int run_executed_sweep(const nn::NetworkModel& net, const CliFlags& flags,
+                       const ExecModeSelection& sel, std::int64_t workers) {
+  const std::int64_t scale =
+      std::max<std::int64_t>(1, flags.get_int("exec-scale"));
+  const nn::NetworkModel proxy = serve::channel_reduced_proxy(net, scale);
+
+  serve::SweepOptions opts;
+  opts.exec_mode = sel.mode;
+  opts.batch = std::max<std::int64_t>(1, flags.get_int("sweep-batch"));
+  opts.num_workers = workers;
+  opts.fidelity_sample_every_n = flags.get_int("fidelity-every");
+  serve::SweepDriver driver(proxy, opts);
+
+  std::vector<serve::SweepPointSpec> points = serve::default_sweep_points();
+  const std::int64_t limit = flags.get_int("points");
+  if (limit > 0 &&
+      limit < static_cast<std::int64_t>(points.size()))
+    points.resize(static_cast<std::size_t>(limit));
+
+  const auto results = driver.run(points);
+
+  TextTable t("DSE — executed sweep (" + proxy.name + ", batch " +
+              std::to_string(opts.batch) + ", " +
+              chain::exec_mode_name(sel.mode) + ", shared PlanCache)");
+  t.set_header({"point", "PEs", "MHz", "Mcycles", "ms/img", "fps",
+                "mJ/img", "hits", "miss", "hit rate"});
+  std::uint64_t total_hits = 0;
+  bool fidelity_ok = true;
+  for (const auto& r : results) {
+    total_hits += r.cache_hits;
+    fidelity_ok = fidelity_ok && !r.fidelity_diverged;
+    const double per_image = static_cast<double>(opts.batch);
+    t.add_row({r.point.label, std::to_string(r.point.array.num_pes),
+               strings::fmt_fixed(r.point.array.clock_hz / 1e6, 0),
+               strings::fmt_fixed(static_cast<double>(r.total_cycles) / 1e6,
+                                  2),
+               strings::fmt_fixed(r.seconds * 1e3 / per_image, 2),
+               strings::fmt_fixed(r.fps, 1),
+               strings::fmt_fixed(r.energy_j * 1e3 / per_image, 2),
+               std::to_string(r.cache_hits),
+               std::to_string(r.cache_misses),
+               strings::fmt_pct(r.cache_hit_rate(), 1)});
+  }
+  std::cout << t.to_ascii();
+
+  const serve::PlanCacheStats cache = driver.plan_cache()->stats();
+  std::cout << "plan cache: " << cache.entries << " entries, "
+            << cache.hits << " hits / " << cache.lookups()
+            << " lookups (" << strings::fmt_pct(cache.hit_rate(), 1)
+            << ") across " << results.size() << " executed points\n";
+  if (opts.fidelity_sample_every_n > 0)
+    std::cout << "fidelity: sampled points cross-checked "
+              << (fidelity_ok ? "clean" : "with DIVERGENCE") << "\n";
+
+  if (!fidelity_ok) return 2;
+  if (results.size() >= 2 && total_hits == 0) {
+    std::cout << "ERROR: shared plan cache never hit across "
+              << results.size() << " points\n";
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  std::string err;
+  const std::map<std::string, std::string> defaults = {
+      {"model", "alexnet"},      {"batch", "128"},
+      {"exec-mode", "analytical"}, {"workers", "1"},
+      {"exec-scale", "16"},      {"sweep-batch", "2"},
+      {"points", "0"},           {"fidelity-every", "0"}};
+  if (!flags.parse(argc, argv, defaults, &err)) {
+    std::cerr << err << "\n" << CliFlags::usage(defaults);
+    return 1;
+  }
+  ExecModeSelection sel;
+  if (!parse_exec_mode_selection(flags.get_string("exec-mode"),
+                                 /*allow_compare=*/false,
+                                 /*allow_none=*/true, &sel, &err)) {
+    std::cerr << err << "\n";
+    return 1;
+  }
+  std::int64_t workers = 1;
+  if (!parse_workers_flag(flags, "workers", &workers, &err)) {
+    std::cerr << err << "\n";
+    return 1;
+  }
+
+  const auto net = nn::model_by_name(flags.get_string("model"));
+  const std::int64_t batch = flags.get_int("batch");
+  const energy::EnergyModel model = energy::EnergyModel::paper_calibrated();
+
+  print_closed_form_tables(net, batch, model);
+
+  if (sel.none) return 0;
+  return run_executed_sweep(net, flags, sel, workers);
 }

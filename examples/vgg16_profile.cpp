@@ -15,10 +15,17 @@
 //                               reporting the wall-clock speedup.
 //   --exec-mode=none            skip execution (plan table only).
 //
+// Both engines of a compare run resolve plans through one shared
+// serve::PlanCache (the second run hits on every layer — VGG's repeated
+// 3x3 shapes already hit within one run), and --workers shards the batch
+// through BatchExecutor.
+//
 //   ./vgg16_profile [--batch=4] [--pes=576] [--exec-mode=analytical]
-//                   [--exec-scale=16]
+//                   [--exec-scale=16] [--workers=1]
+#include <algorithm>
 #include <chrono>
 #include <iostream>
+#include <memory>
 
 #include "chain/network_runner.hpp"
 #include "common/cli.hpp"
@@ -28,6 +35,8 @@
 #include "dataflow/traffic.hpp"
 #include "energy/energy_model.hpp"
 #include "nn/models.hpp"
+#include "serve/inference_server.hpp"
+#include "serve/sweep_driver.hpp"
 
 using namespace chainnn;
 
@@ -40,11 +49,12 @@ struct ExecutedRun {
 
 ExecutedRun execute_proxy(const nn::NetworkModel& proxy,
                           const dataflow::ArrayShape& array,
-                          chain::ExecMode mode) {
+                          chain::ExecMode mode, std::int64_t workers,
+                          const std::shared_ptr<serve::PlanCache>& cache) {
   chain::AcceleratorConfig cfg;
   cfg.array = array;
   cfg.exec_mode = mode;
-  chain::ChainAccelerator acc(cfg);
+  chain::ChainAccelerator acc(cfg, cache);
   const energy::EnergyModel energy = energy::EnergyModel::paper_calibrated();
   chain::NetworkRunner runner(acc, energy);
 
@@ -57,6 +67,8 @@ ExecutedRun execute_proxy(const nn::NetworkModel& proxy,
 
   chain::NetworkRunOptions opts;
   opts.verify_against_golden = false;  // compare mode checks equality
+  opts.num_workers = workers;
+  opts.plan_cache = cache;
   // VGG-16 pool placement (2x2/2 after blocks 1..5) so the flowing
   // activations shrink spatially the way the real network does.
   opts.inter_layer.assign(proxy.conv_layers.size(), chain::InterLayerOp{});
@@ -75,24 +87,6 @@ ExecutedRun execute_proxy(const nn::NetworkModel& proxy,
   return run;
 }
 
-bool runs_identical(const chain::NetworkRunResult& a,
-                    const chain::NetworkRunResult& b) {
-  if (a.layers.size() != b.layers.size()) return false;
-  if (!(a.final_activations == b.final_activations)) return false;
-  for (std::size_t i = 0; i < a.layers.size(); ++i) {
-    const auto& la = a.layers[i].run;
-    const auto& lb = b.layers[i].run;
-    if (!(la.ofmaps == lb.ofmaps)) return false;
-    if (la.stats.total_cycles() != lb.stats.total_cycles()) return false;
-    if (la.traffic.dram_bytes != lb.traffic.dram_bytes ||
-        la.traffic.imemory_bytes != lb.traffic.imemory_bytes ||
-        la.traffic.kmemory_bytes != lb.traffic.kmemory_bytes ||
-        la.traffic.omemory_bytes != lb.traffic.omemory_bytes)
-      return false;
-  }
-  return true;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -102,18 +96,23 @@ int main(int argc, char** argv) {
       {"batch", "4"},
       {"pes", "576"},
       {"exec-mode", "analytical"},
-      {"exec-scale", "16"}};
+      {"exec-scale", "16"},
+      {"workers", "1"}};
   if (!flags.parse(argc, argv, defaults, &err)) {
     std::cerr << err << "\n" << CliFlags::usage(defaults);
     return 1;
   }
   const std::int64_t batch = flags.get_int("batch");
-  const std::string exec_mode_str = flags.get_string("exec-mode");
-  chain::ExecMode exec_mode = chain::ExecMode::kAnalytical;
-  if (exec_mode_str != "none" && exec_mode_str != "compare" &&
-      !chain::parse_exec_mode(exec_mode_str, &exec_mode)) {
-    std::cerr << "unknown --exec-mode \"" << exec_mode_str
-              << "\" (analytical | cycle-accurate | compare | none)\n";
+  ExecModeSelection sel;
+  if (!parse_exec_mode_selection(flags.get_string("exec-mode"),
+                                 /*allow_compare=*/true,
+                                 /*allow_none=*/true, &sel, &err)) {
+    std::cerr << err << "\n";
+    return 1;
+  }
+  std::int64_t workers = 1;
+  if (!parse_workers_flag(flags, "workers", &workers, &err)) {
+    std::cerr << err << "\n";
     return 1;
   }
 
@@ -164,47 +163,48 @@ int main(int argc, char** argv) {
                "kMemory channel residencies\nwith a psum spill between "
                "them.\n";
 
-  if (exec_mode_str == "none") return 0;
+  if (sel.none) return 0;
 
   // --- execution: channel-reduced proxy through the selected engine --------
-  const std::int64_t scale = std::max<std::int64_t>(1,
-                                                    flags.get_int("exec-scale"));
-  nn::NetworkModel proxy;
-  proxy.name = net.name + "/" + std::to_string(scale);
-  std::int64_t prev_out = std::max<std::int64_t>(
-      1, net.conv_layers.front().in_channels);  // RGB input stays intact
-  for (nn::ConvLayerParams layer : net.conv_layers) {
-    layer.in_channels = prev_out;
-    layer.out_channels = std::max<std::int64_t>(1, layer.out_channels / scale);
-    layer.validate();
-    prev_out = layer.out_channels;
-    proxy.conv_layers.push_back(layer);
-  }
+  const std::int64_t scale =
+      std::max<std::int64_t>(1, flags.get_int("exec-scale"));
+  const nn::NetworkModel proxy = serve::channel_reduced_proxy(net, scale);
+  const auto cache = std::make_shared<serve::PlanCache>();
 
   std::cout << "\nexecuting " << proxy.name
             << " (channels/" << scale << ", one image) — exec-mode "
-            << exec_mode_str << "\n";
-  if (exec_mode_str == "compare") {
-    const ExecutedRun fast =
-        execute_proxy(proxy, array, chain::ExecMode::kAnalytical);
-    const ExecutedRun slow =
-        execute_proxy(proxy, array, chain::ExecMode::kCycleAccurate);
-    const bool identical = runs_identical(fast.result, slow.result);
+            << sel.name() << ", workers " << workers << "\n";
+  if (sel.compare) {
+    const ExecutedRun fast = execute_proxy(
+        proxy, array, chain::ExecMode::kAnalytical, workers, cache);
+    const ExecutedRun slow = execute_proxy(
+        proxy, array, chain::ExecMode::kCycleAccurate, workers, cache);
+    std::string why;
+    const bool identical =
+        serve::network_runs_identical(fast.result, slow.result, &why);
+    const serve::PlanCacheStats cs = cache->stats();
     std::cout << "cycle-accurate: " << strings::fmt_fixed(slow.wall_ms, 1)
               << " ms wall, analytical: "
               << strings::fmt_fixed(fast.wall_ms, 1) << " ms wall => "
               << strings::fmt_fixed(slow.wall_ms / fast.wall_ms, 1)
               << "x speedup; ofmaps/cycles/traffic "
-              << (identical ? "identical" : "DIFFER") << "\n";
+              << (identical ? "identical" : "DIFFER (" + why + ")") << "\n"
+              << "plan cache: " << cs.entries << " entries, " << cs.hits
+              << "/" << cs.lookups() << " hits ("
+              << strings::fmt_pct(cs.hit_rate(), 1)
+              << ") across both engines\n";
     return identical ? 0 : 2;
   }
-  const ExecutedRun run = execute_proxy(proxy, array, exec_mode);
+  const ExecutedRun run =
+      execute_proxy(proxy, array, sel.mode, workers, cache);
+  const serve::PlanCacheStats cs = cache->stats();
   std::cout << "wall: " << strings::fmt_fixed(run.wall_ms, 1)
             << " ms for " << run.result.layers.size()
             << " conv layers; modelled "
             << strings::fmt_fixed(run.result.total_seconds() * 1e3, 2)
             << " ms/image on-chip ("
             << strings::fmt_fixed(run.result.fps(batch), 1) << " fps at batch "
-            << batch << ")\n";
+            << batch << "); plan cache " << cs.hits << "/" << cs.lookups()
+            << " hits\n";
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "chain/accelerator.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.hpp"
 #include "fixed/quantize.hpp"
@@ -73,12 +74,16 @@ double LayerRunResult::utilization() const {
                     : static_cast<double>(plan.layer.macs_total()) / cap;
 }
 
-ChainAccelerator::ChainAccelerator(const AcceleratorConfig& cfg)
-    : cfg_(cfg), hierarchy_(cfg.memory) {}
+ChainAccelerator::ChainAccelerator(const AcceleratorConfig& cfg,
+                                   std::shared_ptr<serve::PlanCache> plan_cache)
+    : cfg_(cfg),
+      hierarchy_(cfg.memory),
+      plan_cache_(plan_cache ? std::move(plan_cache)
+                             : std::make_shared<serve::PlanCache>()) {}
 
 dataflow::ExecutionPlan ChainAccelerator::plan(
     const nn::ConvLayerParams& layer) const {
-  return dataflow::plan_layer(layer, cfg_.array, cfg_.memory);
+  return plan_cache_->plan_for(layer, cfg_.array, cfg_.memory);
 }
 
 LayerRunResult ChainAccelerator::run_layer(
@@ -87,7 +92,8 @@ LayerRunResult ChainAccelerator::run_layer(
   if (bias) CHAINNN_CHECK(bias->shape() == Shape({layer.out_channels}));
 
   LayerRunResult result;
-  result.plan = plan(layer);
+  serve::PlanCache::Lookup lookup;
+  result.plan = plan_cache_->plan_for(layer, cfg_.array, cfg_.memory, &lookup);
   result.clock_hz_ = cfg_.array.clock_hz;
 
   const mem::HierarchySnapshot before = mem::snapshot(hierarchy_);
@@ -111,6 +117,11 @@ LayerRunResult ChainAccelerator::run_layer(
     LayerController controller(cfg_, result.plan, hierarchy_);
     result.accumulators = controller.run(ifmaps, kernels, result.stats);
   }
+  // Host-side bookkeeping, set after the engines so the analytical path's
+  // wholesale stats replacement cannot drop it.
+  result.stats.plan_cache_hits = lookup.hit ? 1 : 0;
+  result.stats.plan_cache_misses = lookup.hit ? 0 : 1;
+  result.stats.plan_cache_entries = static_cast<std::int64_t>(lookup.entries);
   result.traffic = mem::traffic_since(hierarchy_, before, layer.name);
 
   // Requantize to 16-bit ofmaps.
@@ -172,57 +183,82 @@ Tensor<std::int64_t> staged_reference(const AcceleratorConfig& cfg,
   const nn::ConvLayerParams& layer = plan.layer;
   layer.validate();
   const int acc_frac = cfg.ifmap_fmt.frac_bits + cfg.kernel_fmt.frac_bits;
-  Tensor<std::int64_t> partials(Shape{layer.batch, layer.out_channels,
-                                      layer.out_height(), layer.out_width()});
+  const std::int64_t e_h = layer.out_height();
+  const std::int64_t e_w = layer.out_width();
+  Tensor<std::int64_t> partials(
+      Shape{layer.batch, layer.out_channels, e_h, e_w});
 
   const std::int64_t m_per_g = layer.out_channels_per_group();
   const std::int64_t cg = layer.channels_per_group();
+  const std::int64_t h = layer.in_height;
+  const std::int64_t w = layer.in_width;
+  const std::int64_t k = layer.kernel;
+  const std::int64_t s = layer.stride;
+  const std::int64_t pr = layer.pad_rows();
+  const std::int64_t pc = layer.pad_cols();
 
+  // Raw-pointer loop nest in the conv2d_fixed_accum style (this is the
+  // kStaged16 analytical hot path). The pass order over each output site
+  // must match the controller — c_tile, then phase, then channel within
+  // the tile — with a 16-bit narrow + saturating staged add per pass, so
+  // the passes run as the outer loops and the sites stream through the
+  // partial plane. The padding tests are hoisted out of the tap loops as
+  // phase-tap range bounds: tap sky reads input row by + s*sky, so the
+  // valid taps form the contiguous range [sky_lo, sky_hi).
+  const std::int16_t* x = ifmaps.data().data();
+  const std::int16_t* ker = kernels.data().data();
+  std::int64_t* out = partials.mutable_data().data();
   for (std::int64_t n = 0; n < layer.batch; ++n) {
+    const std::int16_t* xn = x + n * layer.in_channels * h * w;
     for (std::int64_t m = 0; m < layer.out_channels; ++m) {
-      const std::int64_t g = m / m_per_g;
-      for (std::int64_t oy = 0; oy < layer.out_height(); ++oy) {
-        for (std::int64_t ox = 0; ox < layer.out_width(); ++ox) {
-          std::int64_t partial = 0;
-          // Pass order must match the controller: c_tile, then phase,
-          // then channel within the tile.
-          for (std::int64_t ct = 0; ct < plan.c_tiles; ++ct) {
-            const std::int64_t c_base = ct * plan.c_tile;
-            const std::int64_t c_limit = std::min(plan.c_tile, cg - c_base);
-            for (const dataflow::SubConvPlan& sp : plan.subconvs) {
-              const dataflow::SubConv& sub = sp.sub;
-              for (std::int64_t cl = 0; cl < c_limit; ++cl) {
-                const std::int64_t c = c_base + cl;
-                const std::int64_t ic = g * cg + c;
+      const std::int16_t* xg = xn + (m / m_per_g) * cg * h * w;
+      const std::int16_t* wm = ker + m * cg * k * k;
+      std::int64_t* plane = out + (n * layer.out_channels + m) * e_h * e_w;
+      for (std::int64_t ct = 0; ct < plan.c_tiles; ++ct) {
+        const std::int64_t c_base = ct * plan.c_tile;
+        const std::int64_t c_limit = std::min(plan.c_tile, cg - c_base);
+        for (const dataflow::SubConvPlan& sp : plan.subconvs) {
+          const std::int64_t a = sp.sub.phase_row;
+          const std::int64_t b = sp.sub.phase_col;
+          const std::int64_t kr = sp.sub.kernel_rows;
+          const std::int64_t kc = sp.sub.kernel_cols;
+          for (std::int64_t cl = 0; cl < c_limit; ++cl) {
+            const std::int64_t c = c_base + cl;
+            const std::int16_t* xc = xg + c * h * w;
+            const std::int16_t* wc = wm + c * k * k;
+            for (std::int64_t oy = 0; oy < e_h; ++oy) {
+              const std::int64_t by = oy * s + a - pr;
+              const std::int64_t sky_lo = by >= 0 ? 0 : (-by + s - 1) / s;
+              const std::int64_t sky_hi =
+                  by >= h ? 0 : std::min(kr, (h - by + s - 1) / s);
+              std::int64_t* prow = plane + oy * e_w;
+              for (std::int64_t ox = 0; ox < e_w; ++ox) {
+                const std::int64_t bx = ox * s + b - pc;
+                const std::int64_t skx_lo =
+                    bx >= 0 ? 0 : (-bx + s - 1) / s;
+                const std::int64_t skx_hi =
+                    bx >= w ? 0 : std::min(kc, (w - bx + s - 1) / s);
                 std::int64_t psum = 0;
-                for (std::int64_t sky = 0; sky < sub.kernel_rows; ++sky) {
-                  for (std::int64_t skx = 0; skx < sub.kernel_cols; ++skx) {
-                    const std::int64_t ky =
-                        sub.phase_row + layer.stride * sky;
-                    const std::int64_t kx =
-                        sub.phase_col + layer.stride * skx;
-                    const std::int64_t iy = oy * layer.stride + ky -
-                                            layer.pad_rows();
-                    const std::int64_t ix = ox * layer.stride + kx -
-                                            layer.pad_cols();
-                    if (iy < 0 || iy >= layer.in_height || ix < 0 ||
-                        ix >= layer.in_width)
-                      continue;
-                    psum += static_cast<std::int64_t>(
-                                ifmaps.at(n, ic, iy, ix)) *
-                            static_cast<std::int64_t>(
-                                kernels.at(m, c, ky, kx));
-                  }
+                for (std::int64_t sky = sky_lo; sky < sky_hi; ++sky) {
+                  // Row-start pointers only (bx may be negative; the
+                  // skx_lo bound keeps every formed index in range, and
+                  // forming a pointer before the buffer would be UB).
+                  const std::int16_t* xrow = xc + (by + s * sky) * w;
+                  const std::int16_t* wrow = wc + (a + s * sky) * k;
+                  for (std::int64_t skx = skx_lo; skx < skx_hi; ++skx)
+                    psum += static_cast<std::int64_t>(xrow[bx + s * skx]) *
+                            static_cast<std::int64_t>(wrow[b + s * skx]);
                 }
+                // One staged accumulation per pass, even for all-padding
+                // windows (the hardware still cycles the accumulator).
                 const std::int16_t narrowed = fixed::narrow_to_fixed16(
                     psum, acc_frac, cfg.psum_fmt, cfg.rounding,
                     fixed::Overflow::kSaturate);
-                partial = std::clamp<std::int64_t>(partial + narrowed,
-                                                   -32768, 32767);
+                prow[ox] = std::clamp<std::int64_t>(prow[ox] + narrowed,
+                                                    -32768, 32767);
               }
             }
           }
-          partials.at(n, m, oy, ox) = partial;
         }
       }
     }

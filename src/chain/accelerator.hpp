@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -28,6 +29,7 @@
 #include "dataflow/traffic.hpp"
 #include "mem/hierarchy.hpp"
 #include "nn/conv_params.hpp"
+#include "serve/plan_cache.hpp"
 #include "tensor/tensor.hpp"
 
 namespace chainnn::chain {
@@ -56,9 +58,19 @@ struct LayerRunResult {
 
 class ChainAccelerator {
  public:
-  explicit ChainAccelerator(const AcceleratorConfig& cfg = {});
+  // All plan lookups go through `plan_cache`; pass a shared cache to pool
+  // plans across accelerators (BatchExecutor shards, server workers,
+  // sweep points). The default — no cache given — creates a private
+  // per-accelerator cache, which preserves the historical behaviour
+  // bit-for-bit (the cache is semantics-free; see serve/plan_cache.hpp).
+  explicit ChainAccelerator(const AcceleratorConfig& cfg = {},
+                            std::shared_ptr<serve::PlanCache> plan_cache =
+                                nullptr);
 
   [[nodiscard]] const AcceleratorConfig& config() const { return cfg_; }
+  [[nodiscard]] const std::shared_ptr<serve::PlanCache>& plan_cache() const {
+    return plan_cache_;
+  }
   [[nodiscard]] mem::MemoryHierarchy& hierarchy() { return hierarchy_; }
   [[nodiscard]] const mem::MemoryHierarchy& hierarchy() const {
     return hierarchy_;
@@ -94,6 +106,7 @@ class ChainAccelerator {
  private:
   AcceleratorConfig cfg_;
   mem::MemoryHierarchy hierarchy_;
+  std::shared_ptr<serve::PlanCache> plan_cache_;
 };
 
 // Reference for the kStaged16 accumulation policy: replays the plan's

@@ -36,7 +36,10 @@ struct BatchExecutor::Pool {
 
 BatchExecutor::BatchExecutor(const AcceleratorConfig& accelerator,
                              BatchExecutorConfig cfg)
-    : acc_cfg_(accelerator), cfg_(cfg) {
+    : acc_cfg_(accelerator),
+      cfg_(cfg),
+      plan_cache_(cfg.plan_cache ? cfg.plan_cache
+                                 : std::make_shared<serve::PlanCache>()) {
   CHAINNN_CHECK_MSG(cfg_.num_workers >= 1,
                     "num_workers must be >= 1, got " << cfg_.num_workers);
   rngs_.reserve(static_cast<std::size_t>(cfg_.num_workers));
@@ -142,6 +145,10 @@ LayerRunResult merge_shard_results(const dataflow::ExecutionPlan& plan,
     merged.stats.windows_collected += r.stats.windows_collected;
     merged.stats.macs_performed += r.stats.macs_performed;
     merged.stats.passes += r.stats.passes;
+    merged.stats.plan_cache_hits += r.stats.plan_cache_hits;
+    merged.stats.plan_cache_misses += r.stats.plan_cache_misses;
+    merged.stats.plan_cache_entries = std::max(
+        merged.stats.plan_cache_entries, r.stats.plan_cache_entries);
 
     merged.traffic.imemory_bytes += r.traffic.imemory_bytes;
     merged.traffic.omemory_bytes += r.traffic.omemory_bytes;
@@ -189,7 +196,8 @@ LayerRunResult BatchExecutor::run_layer(const nn::ConvLayerParams& layer,
 
   const std::int64_t shards = std::min(cfg_.num_workers, layer.batch);
   if (shards <= 1) {
-    if (!serial_acc_) serial_acc_ = std::make_unique<ChainAccelerator>(acc_cfg_);
+    if (!serial_acc_)
+      serial_acc_ = std::make_unique<ChainAccelerator>(acc_cfg_, plan_cache_);
     return serial_acc_->run_layer(layer, ifmaps, kernels, bias);
   }
 
@@ -213,7 +221,8 @@ LayerRunResult BatchExecutor::run_layer(const nn::ConvLayerParams& layer,
             static_cast<std::size_t>((last - first) * image_words));
         std::copy(src.begin(), src.end(), slice.mutable_data().begin());
 
-        ChainAccelerator acc(acc_cfg_);  // per-shard clone, private hierarchy
+        // Per-shard clone: private hierarchy, shared plan cache.
+        ChainAccelerator acc(acc_cfg_, plan_cache_);
         results[static_cast<std::size_t>(s)] =
             acc.run_layer(shard_layer, slice, kernels, bias);
       } catch (...) {
@@ -225,10 +234,19 @@ LayerRunResult BatchExecutor::run_layer(const nn::ConvLayerParams& layer,
   for (const std::exception_ptr& e : errors)
     if (e) std::rethrow_exception(e);
 
+  serve::PlanCache::Lookup lookup;
   const dataflow::ExecutionPlan plan =
-      dataflow::plan_layer(layer, acc_cfg_.array, acc_cfg_.memory);
-  return merge_shard_results(plan, acc_cfg_.array.clock_hz,
-                             acc_cfg_.memory.word_bytes, results);
+      plan_cache_->plan_for(layer, acc_cfg_.array, acc_cfg_.memory, &lookup);
+  LayerRunResult merged = merge_shard_results(
+      plan, acc_cfg_.array.clock_hz, acc_cfg_.memory.word_bytes, results);
+  // The merge plan above is a lookup of this run too — keep RunStats'
+  // "hits + misses = plan lookups performed" invariant for sharded runs.
+  merged.stats.plan_cache_hits += lookup.hit ? 1 : 0;
+  merged.stats.plan_cache_misses += lookup.hit ? 0 : 1;
+  merged.stats.plan_cache_entries =
+      std::max(merged.stats.plan_cache_entries,
+               static_cast<std::int64_t>(lookup.entries));
+  return merged;
 }
 
 }  // namespace chainnn::chain

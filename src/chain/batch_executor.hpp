@@ -49,6 +49,11 @@ struct BatchExecutorConfig {
   std::int64_t num_workers = 1;
   // Base seed for the per-worker RNG streams.
   std::uint64_t seed = 0xC4A15EEDULL;
+  // Plan cache shared by the per-shard accelerator clones (thread-safe;
+  // see serve/plan_cache.hpp). nullptr creates an executor-owned cache,
+  // so every shard of every layer reuses one planning pass — results are
+  // bit-identical either way (the cache is semantics-free).
+  std::shared_ptr<serve::PlanCache> plan_cache;
 };
 
 class BatchExecutor {
@@ -63,6 +68,10 @@ class BatchExecutor {
   [[nodiscard]] std::int64_t num_workers() const { return cfg_.num_workers; }
   [[nodiscard]] const AcceleratorConfig& accelerator_config() const {
     return acc_cfg_;
+  }
+  // The (shared or executor-owned) plan cache all shards resolve through.
+  [[nodiscard]] const std::shared_ptr<serve::PlanCache>& plan_cache() const {
+    return plan_cache_;
   }
 
   // The independent RNG stream of worker `w` (0 <= w < num_workers).
@@ -89,6 +98,7 @@ class BatchExecutor {
 
   AcceleratorConfig acc_cfg_;
   BatchExecutorConfig cfg_;
+  std::shared_ptr<serve::PlanCache> plan_cache_;
   std::vector<Rng> rngs_;
   std::unique_ptr<ChainAccelerator> serial_acc_;  // lazy, single-shard path
 

@@ -35,6 +35,14 @@ struct RunStats {
   std::int64_t macs_performed = 0;  // real (non-masked) MACs
   std::int64_t passes = 0;
 
+  // Plan-cache behaviour of this run (hits + misses = plan lookups the
+  // run performed; entries = cache size afterwards). Host-side
+  // accounting only — never part of the modelled cycles; sharded runs
+  // sum hits/misses across shards.
+  std::int64_t plan_cache_hits = 0;
+  std::int64_t plan_cache_misses = 0;
+  std::int64_t plan_cache_entries = 0;
+
   [[nodiscard]] std::int64_t total_cycles() const {
     return kernel_load_cycles + stream_cycles + drain_cycles;
   }

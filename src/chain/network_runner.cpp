@@ -57,13 +57,16 @@ NetworkRunResult NetworkRunner::run(const nn::NetworkModel& net,
   if (options.exec_mode) effective_cfg.exec_mode = *options.exec_mode;
   std::unique_ptr<BatchExecutor> executor;
   if (options.num_workers > 1 ||
-      effective_cfg.exec_mode != acc_.config().exec_mode) {
+      effective_cfg.exec_mode != acc_.config().exec_mode ||
+      options.plan_cache) {
     // The executor owns per-shard accelerator clones carrying the
     // effective config; with one worker it runs serially on the calling
-    // thread, so an exec-mode override never mutates the caller's
-    // accelerator.
-    executor = std::make_unique<BatchExecutor>(
-        effective_cfg, BatchExecutorConfig{options.num_workers});
+    // thread, so an exec-mode override or injected plan cache never
+    // mutates the caller's accelerator.
+    BatchExecutorConfig exec_cfg;
+    exec_cfg.num_workers = options.num_workers;
+    exec_cfg.plan_cache = options.plan_cache;
+    executor = std::make_unique<BatchExecutor>(effective_cfg, exec_cfg);
   }
 
   for (std::size_t i = 0; i < net.conv_layers.size(); ++i) {

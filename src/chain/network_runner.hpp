@@ -62,6 +62,10 @@ struct NetworkRunOptions {
   // analytical fast path without being reconfigured). nullopt keeps the
   // accelerator's own cfg.exec_mode.
   std::optional<ExecMode> exec_mode;
+  // Plan cache for this run, shared with whoever else holds it (server
+  // workers, other runs, sweep points). nullptr keeps the accelerator's
+  // own cache. Semantics-free: results are bit-identical either way.
+  std::shared_ptr<serve::PlanCache> plan_cache;
 };
 
 class NetworkRunner {

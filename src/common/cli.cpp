@@ -77,4 +77,74 @@ std::string CliFlags::usage(
   return os.str();
 }
 
+const char* ExecModeSelection::name() const {
+  if (compare) return "compare";
+  if (none) return "none";
+  return chain::exec_mode_name(mode);
+}
+
+bool parse_exec_mode_selection(const std::string& value, bool allow_compare,
+                               bool allow_none, ExecModeSelection* out,
+                               std::string* error) {
+  ExecModeSelection sel;
+  if (allow_compare && value == "compare") {
+    sel.compare = true;
+  } else if (allow_none && value == "none") {
+    sel.none = true;
+  } else if (!chain::parse_exec_mode(value, &sel.mode)) {
+    if (error) {
+      std::string valid = "analytical | cycle-accurate";
+      if (allow_compare) valid += " | compare";
+      if (allow_none) valid += " | none";
+      *error = "unknown --exec-mode \"" + value + "\" (" + valid + ")";
+    }
+    return false;
+  }
+  *out = sel;
+  return true;
+}
+
+bool parse_workers_flag(const CliFlags& flags, const std::string& flag_name,
+                        std::int64_t* out, std::string* error) {
+  const std::int64_t workers = flags.get_int(flag_name);
+  if (workers < 1) {
+    if (error)
+      *error = "--" + flag_name + " must be a positive integer, got \"" +
+               flags.get_string(flag_name) + "\"";
+    return false;
+  }
+  *out = workers;
+  return true;
+}
+
+bool consume_exec_mode_flag(int* argc, char** argv, bool allow_compare,
+                            bool allow_none, ExecModeSelection* out,
+                            std::string* error) {
+  const std::string prefix = "--exec-mode";
+  int kept = 1;
+  bool ok = true;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (strings::starts_with(arg, prefix + "=")) {
+      value = arg.substr(prefix.size() + 1);
+    } else if (arg == prefix) {
+      if (i + 1 >= *argc) {
+        if (error) *error = "flag --exec-mode is missing a value";
+        ok = false;
+        continue;
+      }
+      value = argv[++i];
+    } else {
+      argv[kept++] = argv[i];
+      continue;
+    }
+    if (!parse_exec_mode_selection(value, allow_compare, allow_none, out,
+                                   error))
+      ok = false;
+  }
+  *argc = kept;
+  return ok;
+}
+
 }  // namespace chainnn

@@ -1,13 +1,14 @@
-// Tiny command-line flag parser for the example binaries.
-//
-// Supports --name=value and --name value forms plus boolean switches.
-// Unrecognized flags are an error so typos surface immediately.
+// Tiny command-line flag parser for the example binaries, plus the
+// shared --exec-mode / --workers handling every bench/example binary
+// uses (one implementation instead of a copy per binary).
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
+
+#include "chain/config.hpp"
 
 namespace chainnn {
 
@@ -38,5 +39,42 @@ class CliFlags {
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
 };
+
+// Result of parsing an --exec-mode flag value. Besides the two engines,
+// binaries may accept "compare" (run both engines and cross-check) and
+// "none" (skip execution); which of those are legal is per-binary.
+struct ExecModeSelection {
+  chain::ExecMode mode = chain::ExecMode::kAnalytical;
+  bool compare = false;
+  bool none = false;
+
+  // "analytical" / "cycle-accurate" / "compare" / "none".
+  [[nodiscard]] const char* name() const;
+};
+
+// Parses `value` ("analytical", "cycle-accurate"/"cycle", plus
+// "compare" / "none" when allowed). On failure returns false and fills
+// `error` with a message listing the values this binary accepts.
+[[nodiscard]] bool parse_exec_mode_selection(const std::string& value,
+                                             bool allow_compare,
+                                             bool allow_none,
+                                             ExecModeSelection* out,
+                                             std::string* error);
+
+// Validates a positive worker count parsed from `flags[flag_name]`.
+// Returns false and fills `error` for zero/negative/garbage values.
+[[nodiscard]] bool parse_workers_flag(const CliFlags& flags,
+                                      const std::string& flag_name,
+                                      std::int64_t* out, std::string* error);
+
+// For binaries whose remaining argv belongs to another parser
+// (google-benchmark): removes "--exec-mode=X" / "--exec-mode X" from
+// argv, updating *argc, and parses the value. Absent flag leaves `out`
+// untouched and succeeds.
+[[nodiscard]] bool consume_exec_mode_flag(int* argc, char** argv,
+                                          bool allow_compare,
+                                          bool allow_none,
+                                          ExecModeSelection* out,
+                                          std::string* error);
 
 }  // namespace chainnn

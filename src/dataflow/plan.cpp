@@ -202,6 +202,48 @@ std::string ExecutionPlan::to_string() const {
   return os.str();
 }
 
+PlanKey PlanKey::from(const nn::ConvLayerParams& layer,
+                      const ArrayShape& array,
+                      const mem::HierarchyConfig& memory) {
+  PlanKey k;
+  k.in_channels = layer.in_channels;
+  k.out_channels = layer.out_channels;
+  k.in_height = layer.in_height;
+  k.in_width = layer.in_width;
+  k.kernel = layer.kernel;
+  k.stride = layer.stride;
+  k.groups = layer.groups;
+  k.pad_rows = layer.pad_rows();
+  k.pad_cols = layer.pad_cols();
+  k.num_pes = array.num_pes;
+  k.kmem_words_per_pe = array.kmem_words_per_pe;
+  k.omemory_bytes = memory.omemory_bytes;
+  k.word_bytes = memory.word_bytes;
+  return k;
+}
+
+std::size_t PlanKey::hash() const {
+  // FNV-1a over the fields; collisions only cost an equality probe.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h = (h ^ v) * 0x100000001b3ULL;
+  };
+  mix(static_cast<std::uint64_t>(in_channels));
+  mix(static_cast<std::uint64_t>(out_channels));
+  mix(static_cast<std::uint64_t>(in_height));
+  mix(static_cast<std::uint64_t>(in_width));
+  mix(static_cast<std::uint64_t>(kernel));
+  mix(static_cast<std::uint64_t>(stride));
+  mix(static_cast<std::uint64_t>(groups));
+  mix(static_cast<std::uint64_t>(pad_rows));
+  mix(static_cast<std::uint64_t>(pad_cols));
+  mix(static_cast<std::uint64_t>(num_pes));
+  mix(static_cast<std::uint64_t>(kmem_words_per_pe));
+  mix(omemory_bytes);
+  mix(word_bytes);
+  return static_cast<std::size_t>(h);
+}
+
 UtilizationRow utilization_row(const ArrayShape& array, std::int64_t kernel) {
   UtilizationRow row;
   row.kernel = kernel;

@@ -23,6 +23,7 @@
 //     x K for single-channel PEs).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -138,6 +139,38 @@ struct ExecutionPlan {
 [[nodiscard]] ExecutionPlan plan_layer(
     const nn::ConvLayerParams& layer, const ArrayShape& array,
     const mem::HierarchyConfig& memory = {});
+
+// Identity of a plan's *derived structure* (taps, primitives, tiling,
+// strips). plan_layer's outputs depend only on these fields: layer
+// geometry (batch and name excluded — they are carried verbatim but
+// shape nothing), the chain length and per-PE kernel storage, and the
+// oMemory capacity in words. Everything else (clock frequency, pipeline
+// depth, dual_channel, iMemory/kMemory sizes) is stored in the plan but
+// only consulted at query time, so plans can be shared across configs
+// that differ in those fields — serve::PlanCache keys on this struct and
+// re-stamps layer/array/memory verbatim on every fetch.
+struct PlanKey {
+  // Layer geometry (effective per-axis padding, not the raw pad fields).
+  std::int64_t in_channels = 0, out_channels = 0;
+  std::int64_t in_height = 0, in_width = 0;
+  std::int64_t kernel = 0, stride = 0, groups = 0;
+  std::int64_t pad_rows = 0, pad_cols = 0;
+  // Array structure.
+  std::int64_t num_pes = 0, kmem_words_per_pe = 0;
+  // Memory capacity that caps resident kernels.
+  std::uint64_t omemory_bytes = 0, word_bytes = 0;
+
+  [[nodiscard]] static PlanKey from(const nn::ConvLayerParams& layer,
+                                    const ArrayShape& array,
+                                    const mem::HierarchyConfig& memory);
+  [[nodiscard]] std::size_t hash() const;
+
+  friend bool operator==(const PlanKey&, const PlanKey&) = default;
+};
+
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& k) const { return k.hash(); }
+};
 
 // Table II helper: active primitive/PE counts for a square kernel K
 // (pure chain regrouping — no memory constraints).

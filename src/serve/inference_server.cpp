@@ -1,0 +1,280 @@
+#include "serve/inference_server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace chainnn::serve {
+
+bool network_runs_identical(const chain::NetworkRunResult& a,
+                            const chain::NetworkRunResult& b,
+                            std::string* why) {
+  const auto fail = [why](const std::string& msg) {
+    if (why) *why = msg;
+    return false;
+  };
+  if (a.layers.size() != b.layers.size())
+    return fail("layer counts differ");
+  for (std::size_t i = 0; i < a.layers.size(); ++i) {
+    const auto& la = a.layers[i].run;
+    const auto& lb = b.layers[i].run;
+    const std::string name = a.layers[i].layer.name;
+    if (!(la.accumulators == lb.accumulators))
+      return fail("accumulators differ at layer " + name);
+    if (!(la.ofmaps == lb.ofmaps))
+      return fail("ofmaps differ at layer " + name);
+    if (la.stats.total_cycles() != lb.stats.total_cycles()) {
+      std::ostringstream os;
+      os << "cycles differ at layer " << name << ": "
+         << la.stats.total_cycles() << " vs " << lb.stats.total_cycles();
+      return fail(os.str());
+    }
+    if (la.traffic.dram_bytes != lb.traffic.dram_bytes ||
+        la.traffic.imemory_bytes != lb.traffic.imemory_bytes ||
+        la.traffic.kmemory_bytes != lb.traffic.kmemory_bytes ||
+        la.traffic.omemory_bytes != lb.traffic.omemory_bytes)
+      return fail("traffic differs at layer " + name);
+  }
+  if (!(a.final_activations == b.final_activations))
+    return fail("final activations differ");
+  return true;
+}
+
+struct InferenceServer::Task {
+  std::int64_t id = 0;
+  nn::NetworkModel net;
+  Tensor<std::int16_t> input;
+  RequestOptions options;
+  std::promise<InferenceResult> promise;
+};
+
+struct InferenceServer::State {
+  mutable std::mutex mu;
+  std::condition_variable work_ready;   // queue gained a task / stopping
+  std::condition_variable space_ready;  // queue dropped below max_queue
+  std::condition_variable idle;         // completed caught up to submitted
+  std::deque<Task> queue;
+  std::vector<std::thread> threads;
+  bool stop = false;
+
+  std::int64_t next_id = 0;
+  std::int64_t in_flight = 0;
+  ServerStats stats;  // plan_cache filled on read
+};
+
+InferenceServer::InferenceServer(ServerOptions options)
+    : opts_(std::move(options)),
+      cache_(opts_.plan_cache ? opts_.plan_cache
+                              : std::make_shared<PlanCache>()),
+      state_(new State) {
+  CHAINNN_CHECK_MSG(opts_.num_threads >= 1,
+                    "num_threads must be >= 1, got " << opts_.num_threads);
+  CHAINNN_CHECK_MSG(opts_.max_queue >= 1,
+                    "max_queue must be >= 1, got " << opts_.max_queue);
+  for (std::int64_t t = 0; t < opts_.num_threads; ++t)
+    state_->threads.emplace_back([this] { worker_loop(); });
+}
+
+InferenceServer::~InferenceServer() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->stop = true;
+  }
+  state_->work_ready.notify_all();
+  for (std::thread& t : state_->threads) t.join();
+  delete state_;
+}
+
+std::future<InferenceResult> InferenceServer::submit(
+    nn::NetworkModel net, Tensor<std::int16_t> input,
+    RequestOptions options) {
+  CHAINNN_CHECK_MSG(!net.conv_layers.empty(),
+                    "cannot serve an empty network");
+  CHAINNN_CHECK(input.shape().rank() == 4);
+  CHAINNN_CHECK_MSG(options.num_workers >= 1,
+                    "num_workers must be >= 1, got " << options.num_workers);
+
+  Task task;
+  task.id = allocate_id();
+  task.net = std::move(net);
+  task.input = std::move(input);
+  task.options = std::move(options);
+  return enqueue(std::move(task));
+}
+
+std::future<InferenceResult> InferenceServer::submit(
+    const nn::NetworkModel& net, std::int64_t batch,
+    RequestOptions options) {
+  CHAINNN_CHECK_MSG(batch >= 1, "batch must be >= 1, got " << batch);
+  CHAINNN_CHECK_MSG(!net.conv_layers.empty(),
+                    "cannot serve an empty network");
+  CHAINNN_CHECK_MSG(options.num_workers >= 1,
+                    "num_workers must be >= 1, got " << options.num_workers);
+  // The id is claimed before the input is generated, so the input is a
+  // pure function of (input_seed, request_id) even under concurrent
+  // submitters — a logged divergence can be reproduced offline from the
+  // id alone.
+  Task task;
+  task.id = allocate_id();
+  const nn::ConvLayerParams& first = net.conv_layers.front();
+  task.input = Tensor<std::int16_t>(
+      Shape{batch, first.in_channels, first.in_height, first.in_width});
+  // Rng SplitMix64-expands its seed, so the xor'd id is enough to
+  // decorrelate per-request streams.
+  Rng rng(opts_.input_seed ^ static_cast<std::uint64_t>(task.id));
+  task.input.fill_random(rng, -64, 64);
+  task.net = net;
+  task.options = std::move(options);
+  return enqueue(std::move(task));
+}
+
+std::int64_t InferenceServer::allocate_id() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return ++state_->next_id;
+}
+
+std::future<InferenceResult> InferenceServer::enqueue(Task&& task) {
+  std::future<InferenceResult> future = task.promise.get_future();
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->space_ready.wait(lock, [this] {
+    return static_cast<std::int64_t>(state_->queue.size()) <
+           opts_.max_queue;
+  });
+  ++state_->stats.submitted;
+  state_->queue.push_back(std::move(task));
+  state_->stats.peak_queue_depth =
+      std::max(state_->stats.peak_queue_depth,
+               static_cast<std::int64_t>(state_->queue.size()));
+  lock.unlock();
+  state_->work_ready.notify_one();
+  return future;
+}
+
+void InferenceServer::wait_idle() {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->idle.wait(lock, [this] {
+    return state_->queue.empty() && state_->in_flight == 0;
+  });
+}
+
+ServerStats InferenceServer::stats() const {
+  ServerStats s;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    s = state_->stats;
+  }
+  s.plan_cache = cache_->stats();
+  return s;
+}
+
+chain::NetworkRunResult InferenceServer::run_network(
+    const chain::AcceleratorConfig& cfg, const Task& task) {
+  chain::ChainAccelerator acc(cfg, cache_);
+  chain::NetworkRunner runner(acc, opts_.energy);
+  chain::NetworkRunOptions ro;
+  ro.verify_against_golden = task.options.verify_against_golden;
+  ro.inter_layer = task.options.inter_layer;
+  ro.weight_init = task.options.weight_init;
+  ro.num_workers = task.options.num_workers;
+  ro.plan_cache = cache_;
+  return runner.run(task.net, task.input, ro);
+}
+
+InferenceResult InferenceServer::execute_request(Task& task) {
+  InferenceResult out;
+  out.request_id = task.id;
+
+  chain::AcceleratorConfig cfg = opts_.accelerator;
+  if (task.options.array) cfg.array = *task.options.array;
+  if (task.options.exec_mode) cfg.exec_mode = *task.options.exec_mode;
+  out.exec_mode = cfg.exec_mode;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  out.run = run_network(cfg, task);
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+  const std::int64_t n = opts_.fidelity_sample_every_n;
+  if (n > 0 && task.id % n == 0) {
+    // Replay on the other engine and cross-check. NetworkRunner re-draws
+    // the same deterministic weights and the input tensor is the stored
+    // one, so the two runs are comparable bit for bit.
+    chain::AcceleratorConfig replay_cfg = cfg;
+    replay_cfg.exec_mode = cfg.exec_mode == chain::ExecMode::kAnalytical
+                               ? chain::ExecMode::kCycleAccurate
+                               : chain::ExecMode::kAnalytical;
+    chain::NetworkRunResult replay = run_network(replay_cfg, task);
+    if (opts_.fidelity_mutator_for_test)
+      opts_.fidelity_mutator_for_test(task.id, replay);
+    out.fidelity.sampled = true;
+    out.fidelity.diverged =
+        !network_runs_identical(out.run, replay, &out.fidelity.detail);
+  }
+  return out;
+}
+
+void InferenceServer::worker_loop() {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  for (;;) {
+    state_->work_ready.wait(lock, [this] {
+      return state_->stop || !state_->queue.empty();
+    });
+    // Drain-then-stop: pending requests still execute after stop so
+    // their futures always resolve.
+    if (state_->queue.empty()) {
+      if (state_->stop) return;
+      continue;
+    }
+    Task task = std::move(state_->queue.front());
+    state_->queue.pop_front();
+    ++state_->in_flight;
+    lock.unlock();
+    state_->space_ready.notify_one();
+
+    InferenceResult result;
+    std::exception_ptr error;
+    try {
+      result = execute_request(task);
+    } catch (...) {
+      error = std::current_exception();
+    }
+
+    lock.lock();
+    --state_->in_flight;
+    if (error) {
+      ++state_->stats.failed;
+    } else {
+      ++state_->stats.completed;
+      if (result.exec_mode == chain::ExecMode::kAnalytical)
+        ++state_->stats.analytical_runs;
+      else
+        ++state_->stats.cycle_accurate_runs;
+      if (result.fidelity.sampled) {
+        ++state_->stats.fidelity_samples;
+        if (result.fidelity.diverged) ++state_->stats.fidelity_divergences;
+      }
+    }
+    if (state_->queue.empty() && state_->in_flight == 0)
+      state_->idle.notify_all();
+    lock.unlock();
+    // Fulfill outside the lock: future continuations must not run under
+    // the server mutex.
+    if (error) {
+      task.promise.set_exception(error);
+    } else {
+      task.promise.set_value(std::move(result));
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace chainnn::serve

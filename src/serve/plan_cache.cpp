@@ -1,0 +1,67 @@
+#include "serve/plan_cache.hpp"
+
+#include <utility>
+
+namespace chainnn::serve {
+
+dataflow::ExecutionPlan PlanCache::plan_for(const nn::ConvLayerParams& layer,
+                                            const dataflow::ArrayShape& array,
+                                            const mem::HierarchyConfig& memory,
+                                            Lookup* lookup) {
+  // plan_layer validates too, but a cache hit must reject exactly the
+  // same inputs a direct call would (batch is not part of the key).
+  layer.validate();
+  const dataflow::PlanKey key = dataflow::PlanKey::from(layer, array, memory);
+
+  std::shared_ptr<const dataflow::ExecutionPlan> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      entry = it->second;
+      ++hits_;
+      if (lookup) *lookup = {true, map_.size()};
+    }
+  }
+
+  if (!entry) {
+    // Plan outside the lock so concurrent misses don't serialize; a
+    // racing double-compute is benign (both produce the same plan, the
+    // first insert wins and the loser's copy is dropped).
+    auto fresh = std::make_shared<dataflow::ExecutionPlan>(
+        dataflow::plan_layer(layer, array, memory));
+    std::lock_guard<std::mutex> lock(mu_);
+    entry = map_.emplace(key, std::move(fresh)).first->second;
+    ++misses_;
+    if (lookup) *lookup = {false, map_.size()};
+  }
+
+  // Re-stamp the caller's exact inputs: the cached entry may have been
+  // built for a different batch / name / clock (all outside the key), and
+  // the derived structure is invariant to them, so the patched copy is
+  // field-for-field what plan_layer(layer, array, memory) returns.
+  dataflow::ExecutionPlan plan = *entry;
+  plan.layer = layer;
+  plan.array = array;
+  plan.memory = memory;
+  return plan;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {hits_, misses_, map_.size()};
+}
+
+std::uint64_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace chainnn::serve

@@ -1,0 +1,76 @@
+// PlanCache — a thread-safe, shared cache in front of dataflow::plan_layer.
+//
+// Chain-NN's fixed 1D-chain dataflow makes an ExecutionPlan a pure
+// function of (layer geometry, array shape, memory capacities), so plans
+// can be computed once and shared: across the layers of a network (VGG's
+// repeated 3x3 blocks), across batch sizes, across requests of a serving
+// process, and across the design points of a sweep (points differing
+// only in clock frequency share every entry — see dataflow::PlanKey for
+// exactly which fields discriminate).
+//
+// The cache is semantics-free by construction: plan_for() re-stamps the
+// caller's layer / array / memory verbatim into the fetched copy, so the
+// returned plan is field-for-field identical to what plan_layer would
+// have built (tests/serve/test_plan_cache.cpp pins this equivalence).
+// Sharing one cache between threads is safe; lookups under contention
+// return identical plans.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "dataflow/plan.hpp"
+
+namespace chainnn::serve {
+
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t entries = 0;
+
+  [[nodiscard]] std::uint64_t lookups() const { return hits + misses; }
+  [[nodiscard]] double hit_rate() const {
+    return lookups() == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(lookups());
+  }
+};
+
+class PlanCache {
+ public:
+  PlanCache() = default;
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  // Outcome of one plan_for() call, for callers that surface cache
+  // behaviour in their own accounting (RunStats).
+  struct Lookup {
+    bool hit = false;
+    std::uint64_t entries = 0;  // cache size after this lookup
+  };
+
+  // The plan plan_layer(layer, array, memory) would build, served from
+  // the cache when the structural key matches a previous call. Throws
+  // exactly when plan_layer would (the layer is validated and unmappable
+  // layers are planned — and fail — outside the cache).
+  [[nodiscard]] dataflow::ExecutionPlan plan_for(
+      const nn::ConvLayerParams& layer, const dataflow::ArrayShape& array,
+      const mem::HierarchyConfig& memory, Lookup* lookup = nullptr);
+
+  [[nodiscard]] PlanCacheStats stats() const;
+  [[nodiscard]] std::uint64_t size() const;
+  void clear();  // drops entries and resets the hit/miss counters
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<dataflow::PlanKey,
+                     std::shared_ptr<const dataflow::ExecutionPlan>,
+                     dataflow::PlanKeyHash>
+      map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace chainnn::serve

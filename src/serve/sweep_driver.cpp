@@ -1,0 +1,128 @@
+#include "serve/sweep_driver.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace chainnn::serve {
+
+SweepDriver::SweepDriver(nn::NetworkModel network, SweepOptions options)
+    : net_(std::move(network)),
+      opts_(std::move(options)),
+      cache_(opts_.plan_cache ? opts_.plan_cache
+                              : std::make_shared<PlanCache>()) {
+  CHAINNN_CHECK_MSG(!net_.conv_layers.empty(),
+                    "cannot sweep an empty network");
+  CHAINNN_CHECK_MSG(opts_.batch >= 1,
+                    "batch must be >= 1, got " << opts_.batch);
+}
+
+std::vector<SweepPointResult> SweepDriver::run(
+    const std::vector<SweepPointSpec>& points) {
+  ServerOptions so;
+  so.accelerator.exec_mode = opts_.exec_mode;
+  so.num_threads = opts_.server_threads;
+  so.max_queue = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(points.size()));
+  so.fidelity_sample_every_n = opts_.fidelity_sample_every_n;
+  so.plan_cache = cache_;
+  so.input_seed = opts_.input_seed;
+  InferenceServer server(so);
+
+  // One input for the whole sweep, so every point executes the same
+  // workload and the per-point figures are directly comparable.
+  const nn::ConvLayerParams& first = net_.conv_layers.front();
+  Tensor<std::int16_t> input(Shape{opts_.batch, first.in_channels,
+                                   first.in_height, first.in_width});
+  Rng rng(opts_.input_seed);
+  input.fill_random(rng, -64, 64);
+
+  std::vector<SweepPointResult> results;
+  results.reserve(points.size());
+  for (const SweepPointSpec& point : points) {
+    RequestOptions ro;
+    ro.array = point.array;
+    ro.num_workers = opts_.num_workers;
+    ro.inter_layer = opts_.inter_layer;
+    // Points are submitted and awaited in turn, so the sweep's cache
+    // carry-over between points is deterministic whatever server_threads
+    // is.
+    InferenceResult res = server.submit(net_, input, ro).get();
+
+    SweepPointResult r;
+    r.point = point;
+    r.run = std::move(res.run);
+    for (const auto& layer : r.run.layers) {
+      r.total_cycles += layer.run.stats.total_cycles();
+      // Per-point cache deltas come from the primary run's own RunStats,
+      // not global cache snapshots: a fidelity replay re-looks-up the
+      // point's freshly-inserted plans and would otherwise report
+      // always-hitting noise that masks cross-point sharing regressions
+      // (design_space's exit-code guard relies on these numbers).
+      r.cache_hits +=
+          static_cast<std::uint64_t>(layer.run.stats.plan_cache_hits);
+      r.cache_misses +=
+          static_cast<std::uint64_t>(layer.run.stats.plan_cache_misses);
+    }
+    r.seconds = r.run.total_seconds();
+    r.energy_j = r.run.total_energy_j();
+    // The run executed the whole batch (kernel loads already amortized
+    // in-run), so fps is direct — NetworkRunResult::fps() extrapolates
+    // from a single-image run and would be ~batch-fold off here.
+    r.fps = r.seconds == 0.0
+                ? 0.0
+                : static_cast<double>(opts_.batch) / r.seconds;
+    r.fidelity_sampled = res.fidelity.sampled;
+    r.fidelity_diverged = res.fidelity.diverged;
+    r.wall_ms = res.wall_ms;
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+std::vector<SweepPointSpec> default_sweep_points() {
+  // The paper point first, then its clock variants (which share every
+  // cached plan with it — the clock is outside the plan key), then the
+  // other chain lengths. Ordered so any prefix of >= 2 points already
+  // exercises cross-point cache hits.
+  std::vector<SweepPointSpec> points;
+  points.push_back({"pes-576", dataflow::ArrayShape{}});
+  for (const double mhz : {350.0, 900.0}) {
+    dataflow::ArrayShape array;
+    array.clock_hz = mhz * 1e6;
+    points.push_back(
+        {"clk-" + std::to_string(static_cast<int>(mhz)), array});
+  }
+  for (const std::int64_t pes : {144, 288, 1152}) {
+    dataflow::ArrayShape array;
+    array.num_pes = pes;
+    points.push_back({"pes-" + std::to_string(pes), array});
+  }
+  return points;
+}
+
+nn::NetworkModel channel_reduced_proxy(const nn::NetworkModel& net,
+                                       std::int64_t scale) {
+  CHAINNN_CHECK_MSG(scale >= 1, "scale must be >= 1, got " << scale);
+  CHAINNN_CHECK_MSG(!net.conv_layers.empty(),
+                    "cannot reduce an empty network");
+  nn::NetworkModel proxy;
+  proxy.name = net.name + "/" + std::to_string(scale);
+  std::int64_t prev_out = net.conv_layers.front().in_channels;
+  for (nn::ConvLayerParams layer : net.conv_layers) {
+    layer.in_channels = prev_out;
+    layer.out_channels =
+        std::max<std::int64_t>(1, layer.out_channels / scale);
+    if (layer.groups > 1 && (layer.in_channels % layer.groups != 0 ||
+                             layer.out_channels % layer.groups != 0))
+      layer.groups = 1;
+    layer.validate();
+    prev_out = layer.out_channels;
+    proxy.conv_layers.push_back(std::move(layer));
+  }
+  return proxy;
+}
+
+}  // namespace chainnn::serve

@@ -1,0 +1,109 @@
+// SweepDriver — executed design-space exploration.
+//
+// The closed-form tables of examples/design_space.cpp rank design points
+// by the plan's analytic cycle counts alone. Following the whole-life /
+// full-network evaluation methodology of the related accelerator-DSE
+// literature, this driver instead *executes* the workload network end to
+// end at every design point: each point becomes one request (per-request
+// ArrayShape override) through a shared InferenceServer, so
+//
+//   * ofmaps are actually computed (and optionally fidelity-sampled
+//     cycle-accurately) rather than assumed;
+//   * per-point latency / energy roll up from per-layer executed runs;
+//   * one PlanCache spans all points — points differing only in clock
+//     frequency share every plan, and repeated layer shapes hit across
+//     the whole sweep. Per-point hit/miss deltas are reported so sweeps
+//     can see what the cache saved them.
+//
+// The cache is semantics-free: a sweep with a shared cache produces
+// per-point cycles/energy identical to a cold-cache sweep
+// (tests/serve/test_sweep_driver.cpp pins this).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataflow/array_shape.hpp"
+#include "nn/models.hpp"
+#include "serve/inference_server.hpp"
+
+namespace chainnn::serve {
+
+struct SweepPointSpec {
+  std::string label;
+  dataflow::ArrayShape array;
+};
+
+struct SweepPointResult {
+  SweepPointSpec point;
+  chain::NetworkRunResult run;  // the executed network at this point
+
+  // Rolled-up executed figures (whole batch / per image at the point's
+  // clock).
+  std::int64_t total_cycles = 0;
+  double seconds = 0.0;
+  double energy_j = 0.0;
+  double fps = 0.0;
+
+  // Plan lookups of this point's primary run (from RunStats; fidelity
+  // replays are excluded so the numbers reflect cross-point sharing).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  [[nodiscard]] double cache_hit_rate() const {
+    return PlanCacheStats{cache_hits, cache_misses, 0}.hit_rate();
+  }
+
+  bool fidelity_sampled = false;
+  bool fidelity_diverged = false;
+  double wall_ms = 0.0;  // host wall time executing this point
+};
+
+struct SweepOptions {
+  chain::ExecMode exec_mode = chain::ExecMode::kAnalytical;
+  std::int64_t batch = 1;
+  std::int64_t num_workers = 1;   // batch sharding inside each point
+  std::int64_t server_threads = 1;
+  std::int64_t fidelity_sample_every_n = 0;  // forwarded to the server
+  // Cache shared across the points (and with any other holder); nullptr
+  // creates a driver-owned cache.
+  std::shared_ptr<PlanCache> plan_cache;
+  std::vector<chain::InterLayerOp> inter_layer;
+  std::uint64_t input_seed = 7;
+};
+
+class SweepDriver {
+ public:
+  SweepDriver(nn::NetworkModel network, SweepOptions options = {});
+
+  // Executes `network` at every point, in order, through one
+  // InferenceServer. Points are independent requests; the cache carries
+  // over between them.
+  [[nodiscard]] std::vector<SweepPointResult> run(
+      const std::vector<SweepPointSpec>& points);
+
+  [[nodiscard]] const std::shared_ptr<PlanCache>& plan_cache() const {
+    return cache_;
+  }
+  [[nodiscard]] const nn::NetworkModel& network() const { return net_; }
+
+ private:
+  nn::NetworkModel net_;
+  SweepOptions opts_;
+  std::shared_ptr<PlanCache> cache_;
+};
+
+// The standard executed-DSE point set: chain lengths around the paper's
+// 576-PE instantiation at 700 MHz, plus clock scaling at 576 PEs (clock
+// points share every cached plan with the 576-PE length point — the
+// clock is not part of the plan key).
+[[nodiscard]] std::vector<SweepPointSpec> default_sweep_points();
+
+// Channel-reduced execution proxy: keeps every layer's geometry (H/W/K/
+// stride/groups) but divides channel counts by `scale` so full networks
+// execute quickly; the first layer's input channels are preserved.
+[[nodiscard]] nn::NetworkModel channel_reduced_proxy(
+    const nn::NetworkModel& net, std::int64_t scale);
+
+}  // namespace chainnn::serve

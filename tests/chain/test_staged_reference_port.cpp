@@ -1,0 +1,197 @@
+// Bit-identity regression for the raw-pointer port of staged_reference
+// (the kStaged16 analytical path): the old accessor-based loop nest is
+// kept here as the oracle and the production implementation must match
+// it exactly — including pass order, per-pass 16-bit narrowing and the
+// saturating staged accumulation — across strides, phases, groups,
+// asymmetric padding, c-tiling and formats with too little headroom.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "chain/accelerator.hpp"
+#include "common/rng.hpp"
+#include "dataflow/plan.hpp"
+
+namespace chainnn::chain {
+namespace {
+
+// The pre-port implementation, verbatim (accessor-based loop nest with
+// per-tap padding tests).
+Tensor<std::int64_t> staged_reference_accessor(
+    const AcceleratorConfig& cfg, const dataflow::ExecutionPlan& plan,
+    const Tensor<std::int16_t>& ifmaps, const Tensor<std::int16_t>& kernels) {
+  const nn::ConvLayerParams& layer = plan.layer;
+  layer.validate();
+  const int acc_frac = cfg.ifmap_fmt.frac_bits + cfg.kernel_fmt.frac_bits;
+  Tensor<std::int64_t> partials(Shape{layer.batch, layer.out_channels,
+                                      layer.out_height(), layer.out_width()});
+
+  const std::int64_t m_per_g = layer.out_channels_per_group();
+  const std::int64_t cg = layer.channels_per_group();
+
+  for (std::int64_t n = 0; n < layer.batch; ++n) {
+    for (std::int64_t m = 0; m < layer.out_channels; ++m) {
+      const std::int64_t g = m / m_per_g;
+      for (std::int64_t oy = 0; oy < layer.out_height(); ++oy) {
+        for (std::int64_t ox = 0; ox < layer.out_width(); ++ox) {
+          std::int64_t partial = 0;
+          for (std::int64_t ct = 0; ct < plan.c_tiles; ++ct) {
+            const std::int64_t c_base = ct * plan.c_tile;
+            const std::int64_t c_limit = std::min(plan.c_tile, cg - c_base);
+            for (const dataflow::SubConvPlan& sp : plan.subconvs) {
+              const dataflow::SubConv& sub = sp.sub;
+              for (std::int64_t cl = 0; cl < c_limit; ++cl) {
+                const std::int64_t c = c_base + cl;
+                const std::int64_t ic = g * cg + c;
+                std::int64_t psum = 0;
+                for (std::int64_t sky = 0; sky < sub.kernel_rows; ++sky) {
+                  for (std::int64_t skx = 0; skx < sub.kernel_cols; ++skx) {
+                    const std::int64_t ky =
+                        sub.phase_row + layer.stride * sky;
+                    const std::int64_t kx =
+                        sub.phase_col + layer.stride * skx;
+                    const std::int64_t iy =
+                        oy * layer.stride + ky - layer.pad_rows();
+                    const std::int64_t ix =
+                        ox * layer.stride + kx - layer.pad_cols();
+                    if (iy < 0 || iy >= layer.in_height || ix < 0 ||
+                        ix >= layer.in_width)
+                      continue;
+                    psum += static_cast<std::int64_t>(
+                                ifmaps.at(n, ic, iy, ix)) *
+                            static_cast<std::int64_t>(
+                                kernels.at(m, c, ky, kx));
+                  }
+                }
+                const std::int16_t narrowed = fixed::narrow_to_fixed16(
+                    psum, acc_frac, cfg.psum_fmt, cfg.rounding,
+                    fixed::Overflow::kSaturate);
+                partial = std::clamp<std::int64_t>(partial + narrowed,
+                                                   -32768, 32767);
+              }
+            }
+          }
+          partials.at(n, m, oy, ox) = partial;
+        }
+      }
+    }
+  }
+  return partials;
+}
+
+struct Case {
+  const char* name;
+  nn::ConvLayerParams layer;
+  AcceleratorConfig cfg;
+};
+
+void expect_port_identical(const Case& c) {
+  SCOPED_TRACE(c.name);
+  nn::ConvLayerParams layer = c.layer;
+  layer.name = c.name;
+  layer.validate();
+
+  Rng rng(0x57A6EDULL);
+  Tensor<std::int16_t> x(
+      Shape{layer.batch, layer.in_channels, layer.in_height, layer.in_width});
+  Tensor<std::int16_t> w(Shape{layer.out_channels,
+                               layer.channels_per_group(), layer.kernel,
+                               layer.kernel});
+  x.fill_random(rng, -512, 512);
+  w.fill_random(rng, -128, 128);
+
+  const dataflow::ExecutionPlan plan =
+      dataflow::plan_layer(layer, c.cfg.array, c.cfg.memory);
+  const auto expected = staged_reference_accessor(c.cfg, plan, x, w);
+  const auto ported = staged_reference(c.cfg, plan, x, w);
+  EXPECT_TRUE(ported == expected);
+}
+
+AcceleratorConfig staged_cfg() {
+  AcceleratorConfig cfg;
+  cfg.psum_storage = PsumStorage::kStaged16;
+  return cfg;
+}
+
+TEST(StagedReferencePort, Stride1Kernel3) {
+  Case c{"s1k3", {}, staged_cfg()};
+  c.layer.batch = 2;
+  c.layer.in_channels = 3;
+  c.layer.out_channels = 4;
+  c.layer.in_height = c.layer.in_width = 12;
+  c.layer.kernel = 3;
+  c.layer.pad = 1;
+  expect_port_identical(c);
+}
+
+TEST(StagedReferencePort, StridedMultiPhase) {
+  // AlexNet-conv1-like: stride 4 splits K=11 into 16 phases of mixed
+  // sub-kernel sizes.
+  Case c{"s4k11", {}, staged_cfg()};
+  c.layer.in_channels = 3;
+  c.layer.out_channels = 2;
+  c.layer.in_height = c.layer.in_width = 35;
+  c.layer.kernel = 11;
+  c.layer.stride = 4;
+  expect_port_identical(c);
+}
+
+TEST(StagedReferencePort, GroupedAsymmetricPadding) {
+  Case c{"g2pad", {}, staged_cfg()};
+  c.layer.in_channels = 4;
+  c.layer.out_channels = 6;
+  c.layer.groups = 2;
+  c.layer.in_height = 9;
+  c.layer.in_width = 14;
+  c.layer.kernel = 3;
+  c.layer.pad_h = 2;
+  c.layer.pad_w = 0;
+  expect_port_identical(c);
+}
+
+TEST(StagedReferencePort, ChannelTiling) {
+  // kMemory shrunk so c_tile < channels_per_group: the pass order gains
+  // an outer c_tile loop the port must replay in the same order.
+  Case c{"ctile", {}, staged_cfg()};
+  c.layer.in_channels = 12;
+  c.layer.out_channels = 2;
+  c.layer.in_height = c.layer.in_width = 8;
+  c.layer.kernel = 3;
+  c.layer.pad = 1;
+  c.cfg.array.kmem_words_per_pe = 4;  // c_tile = 4 -> 3 tiles
+  expect_port_identical(c);
+}
+
+TEST(StagedReferencePort, SaturatingPsumFormat) {
+  // Small-headroom staged format: per-pass narrowing saturates and the
+  // staged adds clip, so any pass-order or rounding drift shows up.
+  Case c{"sat", {}, staged_cfg()};
+  c.layer.in_channels = 8;
+  c.layer.out_channels = 3;
+  c.layer.in_height = c.layer.in_width = 10;
+  c.layer.kernel = 5;
+  c.layer.pad = 2;
+  c.cfg.psum_fmt = fixed::FixedFormat{12};
+  expect_port_identical(c);
+}
+
+TEST(StagedReferencePort, OneByOneKernelAndStrideOverKernel) {
+  Case c{"k1s2", {}, staged_cfg()};
+  c.layer.in_channels = 5;
+  c.layer.out_channels = 4;
+  c.layer.in_height = c.layer.in_width = 7;
+  c.layer.kernel = 1;
+  c.layer.stride = 2;
+  expect_port_identical(c);
+
+  Case d{"k2s3", {}, staged_cfg()};
+  d.layer.in_channels = 2;
+  d.layer.out_channels = 2;
+  d.layer.in_height = d.layer.in_width = 11;
+  d.layer.kernel = 2;
+  d.layer.stride = 3;
+  expect_port_identical(d);
+}
+
+}  // namespace
+}  // namespace chainnn::chain

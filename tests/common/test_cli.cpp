@@ -76,5 +76,116 @@ TEST(Cli, UsageListsFlags) {
   EXPECT_NE(usage.find("--batch=4"), std::string::npos);
 }
 
+TEST(ExecModeFlag, ParsesEngines) {
+  ExecModeSelection sel;
+  std::string err;
+  ASSERT_TRUE(parse_exec_mode_selection("analytical", false, false, &sel,
+                                        &err));
+  EXPECT_EQ(sel.mode, chain::ExecMode::kAnalytical);
+  EXPECT_FALSE(sel.compare);
+  EXPECT_FALSE(sel.none);
+  EXPECT_STREQ(sel.name(), "analytical");
+
+  ASSERT_TRUE(parse_exec_mode_selection("cycle-accurate", false, false, &sel,
+                                        &err));
+  EXPECT_EQ(sel.mode, chain::ExecMode::kCycleAccurate);
+  ASSERT_TRUE(parse_exec_mode_selection("cycle", false, false, &sel, &err));
+  EXPECT_EQ(sel.mode, chain::ExecMode::kCycleAccurate);
+}
+
+TEST(ExecModeFlag, CompareAndNoneArePerBinary) {
+  ExecModeSelection sel;
+  std::string err;
+  ASSERT_TRUE(parse_exec_mode_selection("compare", true, false, &sel, &err));
+  EXPECT_TRUE(sel.compare);
+  EXPECT_STREQ(sel.name(), "compare");
+  EXPECT_FALSE(parse_exec_mode_selection("compare", false, true, &sel, &err));
+  EXPECT_NE(err.find("compare\""), std::string::npos);
+
+  ASSERT_TRUE(parse_exec_mode_selection("none", false, true, &sel, &err));
+  EXPECT_TRUE(sel.none);
+  EXPECT_FALSE(parse_exec_mode_selection("none", true, false, &sel, &err));
+}
+
+TEST(ExecModeFlag, ErrorListsAcceptedValues) {
+  ExecModeSelection sel;
+  std::string err;
+  EXPECT_FALSE(parse_exec_mode_selection("bogus", true, true, &sel, &err));
+  EXPECT_NE(err.find("analytical"), std::string::npos);
+  EXPECT_NE(err.find("cycle-accurate"), std::string::npos);
+  EXPECT_NE(err.find("compare"), std::string::npos);
+  EXPECT_NE(err.find("none"), std::string::npos);
+  EXPECT_FALSE(parse_exec_mode_selection("bogus", false, false, &sel, &err));
+  EXPECT_EQ(err.find("compare"), std::string::npos);
+}
+
+TEST(WorkersFlag, ValidatesPositive) {
+  const std::map<std::string, std::string> defaults = {{"workers", "4"}};
+  CliFlags flags;
+  std::string err;
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.parse(1, argv, defaults, &err));
+  std::int64_t workers = 0;
+  ASSERT_TRUE(parse_workers_flag(flags, "workers", &workers, &err));
+  EXPECT_EQ(workers, 4);
+
+  const char* bad[] = {"prog", "--workers=0"};
+  ASSERT_TRUE(flags.parse(2, bad, defaults, &err));
+  EXPECT_FALSE(parse_workers_flag(flags, "workers", &workers, &err));
+  EXPECT_NE(err.find("--workers"), std::string::npos);
+
+  const char* garbage[] = {"prog", "--workers=lots"};
+  ASSERT_TRUE(flags.parse(2, garbage, defaults, &err));
+  EXPECT_FALSE(parse_workers_flag(flags, "workers", &workers, &err));
+}
+
+TEST(ExecModeFlag, ConsumeStripsFlagFromArgv) {
+  char a0[] = "prog", a1[] = "--exec-mode=compare", a2[] = "--other=1";
+  char* argv[] = {a0, a1, a2};
+  int argc = 3;
+  ExecModeSelection sel;
+  std::string err;
+  ASSERT_TRUE(consume_exec_mode_flag(&argc, argv, true, false, &sel, &err));
+  EXPECT_TRUE(sel.compare);
+  ASSERT_EQ(argc, 2);
+  EXPECT_STREQ(argv[1], "--other=1");
+}
+
+TEST(ExecModeFlag, ConsumeHandlesSpaceFormAndAbsence) {
+  {
+    char a0[] = "prog", a1[] = "--exec-mode", a2[] = "cycle";
+    char* argv[] = {a0, a1, a2};
+    int argc = 3;
+    ExecModeSelection sel;
+    std::string err;
+    ASSERT_TRUE(consume_exec_mode_flag(&argc, argv, false, false, &sel,
+                                       &err));
+    EXPECT_EQ(sel.mode, chain::ExecMode::kCycleAccurate);
+    EXPECT_EQ(argc, 1);
+  }
+  {
+    char a0[] = "prog", a1[] = "--benchmark_min_time=0.01";
+    char* argv[] = {a0, a1};
+    int argc = 2;
+    ExecModeSelection sel;  // defaults survive an absent flag
+    std::string err;
+    ASSERT_TRUE(consume_exec_mode_flag(&argc, argv, false, false, &sel,
+                                       &err));
+    EXPECT_EQ(sel.mode, chain::ExecMode::kAnalytical);
+    EXPECT_EQ(argc, 2);
+    EXPECT_STREQ(argv[1], "--benchmark_min_time=0.01");
+  }
+  {
+    char a0[] = "prog", a1[] = "--exec-mode";
+    char* argv[] = {a0, a1};
+    int argc = 2;
+    ExecModeSelection sel;
+    std::string err;
+    EXPECT_FALSE(consume_exec_mode_flag(&argc, argv, false, false, &sel,
+                                        &err));
+    EXPECT_NE(err.find("missing a value"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace chainnn

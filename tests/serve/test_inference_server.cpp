@@ -1,0 +1,221 @@
+// InferenceServer: request scheduling, per-request ExecMode / array
+// overrides, and fidelity sampling — sampled cycle-accurate replays must
+// be bit-identical to the analytical results, and an injected divergence
+// must be caught and counted.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "serve/inference_server.hpp"
+
+namespace chainnn::serve {
+namespace {
+
+// Two small conv layers; cycle-accurate runs finish in milliseconds.
+nn::NetworkModel tiny_net() {
+  nn::NetworkModel net;
+  net.name = "tiny";
+  nn::ConvLayerParams l1;
+  l1.name = "c1";
+  l1.in_channels = 2;
+  l1.out_channels = 3;
+  l1.in_height = l1.in_width = 8;
+  l1.kernel = 3;
+  l1.pad = 1;
+  l1.validate();
+  nn::ConvLayerParams l2;
+  l2.name = "c2";
+  l2.in_channels = 3;
+  l2.out_channels = 2;
+  l2.in_height = l2.in_width = 8;
+  l2.kernel = 3;
+  l2.pad = 1;
+  l2.validate();
+  net.conv_layers = {l1, l2};
+  return net;
+}
+
+Tensor<std::int16_t> tiny_input(std::int64_t batch, std::uint64_t seed) {
+  Tensor<std::int16_t> input(Shape{batch, 2, 8, 8});
+  Rng rng(seed);
+  input.fill_random(rng, -64, 64);
+  return input;
+}
+
+TEST(InferenceServer, DrainsQueueAndCountsRequests) {
+  ServerOptions so;
+  so.num_threads = 2;
+  so.max_queue = 4;  // smaller than the submission burst: backpressure
+  InferenceServer server(so);
+
+  const nn::NetworkModel net = tiny_net();
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 10; ++i)
+    futures.push_back(server.submit(net, /*batch=*/2));
+  for (auto& f : futures) {
+    const InferenceResult r = f.get();
+    EXPECT_EQ(r.exec_mode, chain::ExecMode::kAnalytical);
+    EXPECT_EQ(r.run.layers.size(), 2u);
+  }
+  server.wait_idle();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 10);
+  EXPECT_EQ(stats.completed, 10);
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_EQ(stats.analytical_runs, 10);
+  EXPECT_LE(stats.peak_queue_depth, so.max_queue);
+  // Every request after the first resolves its plans from the cache.
+  EXPECT_GT(stats.plan_cache.hits, 0u);
+  EXPECT_EQ(stats.plan_cache.entries, 2u);
+}
+
+TEST(InferenceServer, PerRequestExecModeMatchesBitForBit) {
+  InferenceServer server{ServerOptions{}};
+  const nn::NetworkModel net = tiny_net();
+  const Tensor<std::int16_t> input = tiny_input(2, 42);
+
+  RequestOptions fast;
+  fast.exec_mode = chain::ExecMode::kAnalytical;
+  RequestOptions slow;
+  slow.exec_mode = chain::ExecMode::kCycleAccurate;
+  auto fa = server.submit(net, input, fast);
+  auto sa = server.submit(net, input, slow);
+  const InferenceResult fr = fa.get();
+  const InferenceResult sr = sa.get();
+  EXPECT_EQ(fr.exec_mode, chain::ExecMode::kAnalytical);
+  EXPECT_EQ(sr.exec_mode, chain::ExecMode::kCycleAccurate);
+
+  std::string why;
+  EXPECT_TRUE(network_runs_identical(fr.run, sr.run, &why)) << why;
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.analytical_runs, 1);
+  EXPECT_EQ(stats.cycle_accurate_runs, 1);
+}
+
+TEST(InferenceServer, PerRequestArrayOverride) {
+  InferenceServer server{ServerOptions{}};
+  RequestOptions ro;
+  dataflow::ArrayShape array;
+  array.num_pes = 288;
+  array.clock_hz = 350e6;
+  ro.array = array;
+  const InferenceResult r = server.submit(tiny_net(), 1, ro).get();
+  for (const auto& layer : r.run.layers) {
+    EXPECT_EQ(layer.run.plan.array.num_pes, 288);
+    EXPECT_EQ(layer.run.plan.array.clock_hz, 350e6);
+  }
+}
+
+TEST(InferenceServer, FidelitySamplesAreBitIdentical) {
+  ServerOptions so;
+  so.num_threads = 2;
+  so.fidelity_sample_every_n = 3;  // requests 3, 6, 9, ...
+  InferenceServer server(so);
+
+  const nn::NetworkModel net = tiny_net();
+  constexpr int kRequests = 9;
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < kRequests; ++i)
+    futures.push_back(server.submit(net, /*batch=*/2));
+
+  int sampled = 0;
+  for (auto& f : futures) {
+    const InferenceResult r = f.get();
+    if (r.request_id % 3 == 0) {
+      EXPECT_TRUE(r.fidelity.sampled) << "request " << r.request_id;
+      ++sampled;
+    } else {
+      EXPECT_FALSE(r.fidelity.sampled) << "request " << r.request_id;
+    }
+    // The cycle-accurate replay must reproduce the analytical run
+    // exactly — any divergence here is an engine bug.
+    EXPECT_FALSE(r.fidelity.diverged) << r.fidelity.detail;
+  }
+  EXPECT_EQ(sampled, 3);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.fidelity_samples, 3);
+  EXPECT_EQ(stats.fidelity_divergences, 0);
+}
+
+TEST(InferenceServer, InjectedDivergenceIsCaughtAndCounted) {
+  ServerOptions so;
+  so.fidelity_sample_every_n = 2;  // requests 2, 4
+  // Corrupt one ofmap word of the replay of request 4 only: exactly one
+  // of the two samples must report (and count) a divergence.
+  so.fidelity_mutator_for_test = [](std::int64_t request_id,
+                                    chain::NetworkRunResult& replay) {
+    if (request_id != 4) return;
+    auto& ofmaps = replay.layers.front().run.ofmaps;
+    ofmaps.at_flat(0) = static_cast<std::int16_t>(ofmaps.at_flat(0) + 1);
+  };
+  InferenceServer server(so);
+
+  const nn::NetworkModel net = tiny_net();
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 4; ++i)
+    futures.push_back(server.submit(net, /*batch=*/1));
+
+  int divergences = 0;
+  for (auto& f : futures) {
+    const InferenceResult r = f.get();
+    if (r.request_id == 2) {
+      EXPECT_TRUE(r.fidelity.sampled);
+      EXPECT_FALSE(r.fidelity.diverged) << r.fidelity.detail;
+    }
+    if (r.request_id == 4) {
+      EXPECT_TRUE(r.fidelity.sampled);
+      EXPECT_TRUE(r.fidelity.diverged);
+      EXPECT_FALSE(r.fidelity.detail.empty());
+      ++divergences;
+    }
+  }
+  EXPECT_EQ(divergences, 1);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.fidelity_samples, 2);
+  EXPECT_EQ(stats.fidelity_divergences, 1);
+}
+
+TEST(InferenceServer, SharedCacheAcrossServers) {
+  // Two servers sharing one cache: the second server's requests hit on
+  // the first server's plans.
+  auto cache = std::make_shared<PlanCache>();
+  const nn::NetworkModel net = tiny_net();
+  {
+    ServerOptions so;
+    so.plan_cache = cache;
+    InferenceServer first(so);
+    (void)first.submit(net, 1).get();
+  }
+  const PlanCacheStats after_first = cache->stats();
+  EXPECT_EQ(after_first.entries, 2u);
+
+  ServerOptions so;
+  so.plan_cache = cache;
+  InferenceServer second(so);
+  (void)second.submit(net, 1).get();
+  const PlanCacheStats after_second = cache->stats();
+  EXPECT_EQ(after_second.entries, 2u);
+  EXPECT_GE(after_second.hits, after_first.hits + 2);
+}
+
+TEST(InferenceServer, RequestErrorsResolveTheFuture) {
+  InferenceServer server{ServerOptions{}};
+  nn::NetworkModel net = tiny_net();
+  // Kernel taps exceed any chain: planning throws inside the worker and
+  // the future must carry the error instead of hanging.
+  net.conv_layers[0].kernel = 99;
+  net.conv_layers[0].in_height = net.conv_layers[0].in_width = 99;
+  auto future = server.submit(net, 1);
+  EXPECT_ANY_THROW((void)future.get());
+  server.wait_idle();
+  EXPECT_EQ(server.stats().failed, 1);
+}
+
+}  // namespace
+}  // namespace chainnn::serve

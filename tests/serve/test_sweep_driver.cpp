@@ -1,0 +1,174 @@
+// SweepDriver: executed design-space sweeps must share plans across
+// points (hit rate > 0), and the cache must be semantics-free — a
+// shared-cache sweep produces per-point executed cycles / energy / ofmaps
+// identical to a cold-cache sweep.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "serve/sweep_driver.hpp"
+
+namespace chainnn::serve {
+namespace {
+
+nn::NetworkModel tiny_net() {
+  nn::NetworkModel net;
+  net.name = "tiny";
+  nn::ConvLayerParams l1;
+  l1.name = "c1";
+  l1.in_channels = 2;
+  l1.out_channels = 4;
+  l1.in_height = l1.in_width = 10;
+  l1.kernel = 3;
+  l1.pad = 1;
+  l1.validate();
+  nn::ConvLayerParams l2;
+  l2.name = "c2";
+  l2.in_channels = 4;
+  l2.out_channels = 3;
+  l2.in_height = l2.in_width = 10;
+  l2.kernel = 3;
+  l2.pad = 1;
+  l2.validate();
+  net.conv_layers = {l1, l2};
+  return net;
+}
+
+std::vector<SweepPointSpec> test_points() {
+  std::vector<SweepPointSpec> points;
+  points.push_back({"pes-576", dataflow::ArrayShape{}});
+  dataflow::ArrayShape clocked;
+  clocked.clock_hz = 350e6;
+  points.push_back({"clk-350", clocked});
+  dataflow::ArrayShape shorter;
+  shorter.num_pes = 144;
+  points.push_back({"pes-144", shorter});
+  return points;
+}
+
+TEST(SweepDriver, SharedCacheHitsAcrossPoints) {
+  SweepDriver driver(tiny_net(), {});
+  const auto results = driver.run(test_points());
+  ASSERT_EQ(results.size(), 3u);
+
+  // Point 1 plans everything; the clock variant shares every plan (the
+  // clock is outside the key); the shorter chain re-plans.
+  EXPECT_EQ(results[0].cache_hits, 0u);
+  EXPECT_EQ(results[0].cache_misses, 2u);
+  EXPECT_EQ(results[1].cache_hits, 2u);
+  EXPECT_EQ(results[1].cache_misses, 0u);
+  EXPECT_DOUBLE_EQ(results[1].cache_hit_rate(), 1.0);
+  EXPECT_EQ(results[2].cache_hits, 0u);
+  EXPECT_EQ(results[2].cache_misses, 2u);
+
+  const PlanCacheStats stats = driver.plan_cache()->stats();
+  EXPECT_EQ(stats.entries, 4u);
+  EXPECT_GT(stats.hits, 0u);
+
+  // The executed figures respond to the design point: half the clock
+  // doubles the time at identical cycles; the shorter chain schedules
+  // differently (on layers this small its 16-primitive drain is actually
+  // cheaper than the 64-primitive one).
+  EXPECT_EQ(results[0].total_cycles, results[1].total_cycles);
+  EXPECT_NEAR(results[1].seconds, 2.0 * results[0].seconds,
+              1e-12 * results[1].seconds);
+  EXPECT_NE(results[2].total_cycles, results[0].total_cycles);
+  for (const auto& r : results) {
+    EXPECT_GT(r.fps, 0.0);
+    EXPECT_GT(r.energy_j, 0.0);
+  }
+}
+
+TEST(SweepDriver, CacheIsSemanticsFree) {
+  // Shared-cache sweep vs per-point cold caches: identical executed
+  // cycles, energy and activations at every point.
+  const nn::NetworkModel net = tiny_net();
+  const auto points = test_points();
+
+  SweepOptions shared_opts;
+  shared_opts.batch = 2;
+  SweepDriver shared_driver(net, shared_opts);
+  const auto shared = shared_driver.run(points);
+
+  std::vector<SweepPointResult> cold;
+  for (const auto& point : points) {
+    SweepOptions cold_opts;
+    cold_opts.batch = 2;
+    SweepDriver cold_driver(net, cold_opts);  // fresh cache per point
+    auto r = cold_driver.run({point});
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0].cache_hits, 0u);  // genuinely cold
+    cold.push_back(std::move(r[0]));
+  }
+
+  ASSERT_EQ(shared.size(), cold.size());
+  for (std::size_t i = 0; i < shared.size(); ++i) {
+    SCOPED_TRACE(shared[i].point.label);
+    EXPECT_EQ(shared[i].total_cycles, cold[i].total_cycles);
+    EXPECT_DOUBLE_EQ(shared[i].seconds, cold[i].seconds);
+    EXPECT_DOUBLE_EQ(shared[i].energy_j, cold[i].energy_j);
+    EXPECT_DOUBLE_EQ(shared[i].fps, cold[i].fps);
+    std::string why;
+    EXPECT_TRUE(network_runs_identical(shared[i].run, cold[i].run, &why))
+        << why;
+  }
+}
+
+TEST(SweepDriver, FidelitySamplingAcrossPoints) {
+  SweepOptions opts;
+  opts.fidelity_sample_every_n = 1;  // every point cross-checked
+  SweepDriver driver(tiny_net(), opts);
+  const auto results = driver.run(test_points());
+  for (const auto& r : results) {
+    SCOPED_TRACE(r.point.label);
+    EXPECT_TRUE(r.fidelity_sampled);
+    EXPECT_FALSE(r.fidelity_diverged);
+  }
+}
+
+TEST(SweepDriver, CycleAccurateSweepMatchesAnalytical) {
+  const nn::NetworkModel net = tiny_net();
+  const auto points = test_points();
+
+  SweepOptions fast;
+  SweepDriver fast_driver(net, fast);
+  SweepOptions slow;
+  slow.exec_mode = chain::ExecMode::kCycleAccurate;
+  SweepDriver slow_driver(net, slow);
+
+  const auto fr = fast_driver.run(points);
+  const auto sr = slow_driver.run(points);
+  ASSERT_EQ(fr.size(), sr.size());
+  for (std::size_t i = 0; i < fr.size(); ++i) {
+    SCOPED_TRACE(fr[i].point.label);
+    std::string why;
+    EXPECT_TRUE(network_runs_identical(fr[i].run, sr[i].run, &why)) << why;
+    EXPECT_EQ(fr[i].total_cycles, sr[i].total_cycles);
+  }
+}
+
+TEST(ChannelReducedProxy, PreservesGeometryAndGrouping) {
+  const nn::NetworkModel alex = nn::alexnet();
+  const nn::NetworkModel proxy = channel_reduced_proxy(alex, 16);
+  ASSERT_EQ(proxy.conv_layers.size(), alex.conv_layers.size());
+  // Input channels of the first layer survive (RGB input).
+  EXPECT_EQ(proxy.conv_layers.front().in_channels,
+            alex.conv_layers.front().in_channels);
+  for (std::size_t i = 0; i < proxy.conv_layers.size(); ++i) {
+    const auto& p = proxy.conv_layers[i];
+    const auto& a = alex.conv_layers[i];
+    EXPECT_EQ(p.kernel, a.kernel);
+    EXPECT_EQ(p.stride, a.stride);
+    EXPECT_EQ(p.in_height, a.in_height);
+    EXPECT_LE(p.out_channels, std::max<std::int64_t>(1, a.out_channels));
+    EXPECT_NO_THROW(p.validate());
+  }
+  // Scale 1 is the identity on channels.
+  const nn::NetworkModel same = channel_reduced_proxy(alex, 1);
+  for (std::size_t i = 0; i < same.conv_layers.size(); ++i)
+    EXPECT_EQ(same.conv_layers[i].out_channels,
+              alex.conv_layers[i].out_channels);
+}
+
+}  // namespace
+}  // namespace chainnn::serve
