@@ -17,6 +17,16 @@
 // object (requests/sec analytical vs cycle-accurate, plan-cache hit
 // rate, fidelity counters) to stdout and to --json, seeding the serving
 // perf trajectory in CI.
+//
+// Fleet mode: `--fleet [--fleet-requests 24] [--fleet-threads 1]
+// [--fleet-fidelity-every 6]` additionally drives a mixed
+// (model, batch, priority, deadline) trace through the 3-chip
+// heterogeneous Fleet and nests the routing metrics under "fleet" in
+// the same JSON: per-chip routed counts and modelled busy seconds,
+// modelled fleet rps vs the best single chip replaying the whole trace
+// (deterministic closed forms — the fleet must win), wall rps, and the
+// deadline-miss / cancellation counters (the trace deliberately
+// includes one request whose deadline is already past at submit).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -35,6 +45,7 @@
 #include "fixed/quantize.hpp"
 #include "nn/golden.hpp"
 #include "nn/models.hpp"
+#include "serve/fleet.hpp"
 #include "serve/inference_server.hpp"
 #include "serve/sweep_driver.hpp"
 
@@ -221,13 +232,110 @@ double time_requests(serve::InferenceServer& server,
   return secs == 0.0 ? 0.0 : static_cast<double>(count) / secs;
 }
 
+// Drives a mixed request trace through a 3-chip heterogeneous Fleet and
+// appends `"fleet": {...}` to `json`. Returns false if a trace request
+// failed, a fidelity sample diverged, or the routed fleet does not beat
+// the best single chip in modelled throughput.
+bool run_fleet_phase(const CliFlags& flags, std::ostringstream& json) {
+  const std::int64_t requests =
+      std::max<std::int64_t>(3, flags.get_int("fleet-requests"));
+  const std::int64_t scale =
+      std::max<std::int64_t>(1, flags.get_int("serve-scale"));
+  const nn::NetworkModel net_a =
+      serve::channel_reduced_proxy(nn::lenet_mnist(), scale);
+  const nn::NetworkModel net_b =
+      serve::channel_reduced_proxy(nn::cifar10_quick(), scale);
+
+  serve::FleetOptions fo;
+  fo.threads_per_chip =
+      std::max<std::int64_t>(1, flags.get_int("fleet-threads"));
+  fo.fidelity_sample_every_n = flags.get_int("fleet-fidelity-every");
+  serve::Fleet fleet(fo);
+  const std::size_t num_chips = fleet.chips().size();
+
+  // Mixed trace: two models, three batch sizes, a high-priority tier on
+  // every fourth request, deadlines on every other one (generous — a
+  // loaded CI runner stalled on a multi-second cycle-accurate fidelity
+  // replay must not blow them, or the deterministic cancelled==1 gate
+  // below turns flaky).
+  std::vector<serve::FleetTraceEntry> trace;
+  for (std::int64_t i = 0; i < requests; ++i) {
+    serve::FleetTraceEntry e;
+    e.net = (i % 3 == 2) ? &net_b : &net_a;
+    e.batch = std::int64_t{1} << (i % 3);  // 1, 2, 4
+    if (i % 4 == 0) e.options.priority = 1;
+    if (i % 2 == 1) e.options.deadline_ms = 600e3;
+    trace.push_back(e);
+  }
+
+  // The routed trace vs every chip replaying it alone (modelled,
+  // deterministic — the fleet must win), plus one request whose
+  // deadline is already past at submit (it must resolve Cancelled and
+  // be counted, not executed; it stays outside the trace comparison).
+  const serve::FleetTraceReport report = serve::run_fleet_trace(fleet, trace);
+  serve::RequestOptions past_deadline;
+  past_deadline.deadline_ms = -1.0;
+  const serve::InferenceResult cancelled_probe =
+      fleet.submit(net_a, 1, past_deadline).get();
+  fleet.wait_idle();
+  const serve::FleetStats stats = fleet.stats();
+
+  const double fleet_makespan = report.fleet_makespan_seconds();
+  const double fleet_modelled_rps =
+      fleet_makespan == 0.0
+          ? 0.0
+          : static_cast<double>(report.completed) / fleet_makespan;
+  // Same numerator as fleet_modelled_rps: the single-chip denominator
+  // already prices exactly the completed requests, so both rps figures
+  // describe the same request set.
+  const double best_single_modelled_rps =
+      report.best_single_seconds() == 0.0
+          ? 0.0
+          : static_cast<double>(report.completed) /
+                report.best_single_seconds();
+
+  json << ", \"fleet\": {\"requests\": " << trace.size()
+       << ", \"completed\": " << report.completed
+       << ", \"chips\": [";
+  for (std::size_t c = 0; c < num_chips; ++c) {
+    if (c > 0) json << ", ";
+    json << "{\"name\": \"" << fleet.chips()[c].name
+         << "\", \"num_pes\": " << fleet.chips()[c].array.num_pes
+         << ", \"routed\": " << stats.chips[c].routed
+         << ", \"modelled_busy_seconds\": " << report.busy_seconds[c]
+         << ", \"single_chip_trace_seconds\": "
+         << report.single_chip_seconds[c] << "}";
+  }
+  json << "], \"fleet_modelled_rps\": " << fleet_modelled_rps
+       << ", \"best_single_chip\": \""
+       << fleet.chips()[report.best_single_chip()].name << "\""
+       << ", \"best_single_modelled_rps\": " << best_single_modelled_rps
+       << ", \"modelled_speedup\": " << report.modelled_speedup()
+       << ", \"wall_rps\": "
+       << (report.wall_seconds == 0.0
+               ? 0.0
+               : static_cast<double>(report.completed) / report.wall_seconds)
+       << ", \"deadline_misses\": " << stats.deadline_misses
+       << ", \"cancelled\": " << stats.cancelled
+       << ", \"fidelity_samples\": " << stats.fidelity_samples
+       << ", \"fidelity_divergences\": " << stats.fidelity_divergences
+       << ", \"failed\": " << stats.failed << "}";
+
+  return stats.failed == 0 && stats.fidelity_divergences == 0 &&
+         stats.cancelled == 1 &&
+         cancelled_probe.status == serve::RequestStatus::kCancelled &&
+         report.modelled_speedup() > 1.0;
+}
+
 int run_serve_bench(int argc, const char* const* argv) {
   CliFlags flags;
   const std::map<std::string, std::string> defaults = {
       {"serve", "true"},         {"requests", "8"},
       {"serve-threads", "2"},    {"serve-model", "lenet"},
       {"serve-scale", "2"},      {"serve-batch", "2"},
-      {"fidelity-every", "4"},   {"json", "BENCH_serve.json"}};
+      {"fidelity-every", "4"},   {"json", "BENCH_serve.json"},
+      {"fleet", "false"},        {"fleet-requests", "24"},
+      {"fleet-threads", "1"},    {"fleet-fidelity-every", "6"}};
   std::string error;
   if (!flags.parse(argc, argv, defaults, &error)) {
     std::cerr << "bench_micro serve mode: " << error << "\n"
@@ -309,7 +417,10 @@ int run_serve_bench(int argc, const char* const* argv) {
        << ", \"fidelity_samples\": " << fidelity_samples
        << ", \"fidelity_divergences\": " << fidelity_divergences
        << ", \"timed_requests\": " << 2 * requests
-       << ", \"failed\": " << stats.failed << "}";
+       << ", \"failed\": " << stats.failed;
+  bool fleet_ok = true;
+  if (flags.get_bool("fleet")) fleet_ok = run_fleet_phase(flags, json);
+  json << "}";
   std::cout << json.str() << "\n";
 
   const std::string path = flags.get_string("json");
@@ -322,8 +433,9 @@ int run_serve_bench(int argc, const char* const* argv) {
     out << json.str() << "\n";
   }
   // The serving bench doubles as a smoke check: every request must
-  // complete and every fidelity sample must cross-check clean.
-  return stats.failed == 0 && fidelity_divergences == 0 ? 0 : 2;
+  // complete, every fidelity sample must cross-check clean, and the
+  // routed fleet must beat the best single chip in modelled throughput.
+  return stats.failed == 0 && fidelity_divergences == 0 && fleet_ok ? 0 : 2;
 }
 
 }  // namespace
@@ -331,7 +443,8 @@ int run_serve_bench(int argc, const char* const* argv) {
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--serve", 0) == 0) return run_serve_bench(argc, argv);
+    if (arg.rfind("--serve", 0) == 0 || arg.rfind("--fleet", 0) == 0)
+      return run_serve_bench(argc, argv);
     if (arg.rfind("--batch", 0) == 0 || arg.rfind("--workers", 0) == 0)
       return run_batch_bench(argc, argv);
   }

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over BENCH_serve.json.
+
+Usage: compare_bench.py CURRENT_JSON BASELINE_JSON
+
+Compares the serving benchmark emitted by `bench_micro --serve --fleet`
+against the committed baseline and fails (exit 1) when:
+
+  * analytical requests/sec drops more than 25% below baseline (wall
+    clock — the generous margin absorbs runner-to-runner noise);
+  * the plan-cache hit rate drops more than 5 points below baseline
+    (deterministic for a fixed request mix: a drop means a caching
+    regression, not noise);
+  * any request failed or any fidelity sample diverged (bit-identity of
+    the two engines is non-negotiable);
+  * the fleet section (when present in both files) stops beating the
+    best single chip in modelled throughput, loses more than 25% of its
+    modelled rps (closed forms — deterministic for a fixed trace), or
+    mis-counts the trace's one deliberately-cancelled request.
+
+Prints a markdown delta table to stdout and appends it to
+$GITHUB_STEP_SUMMARY when set. Stdlib only.
+"""
+
+import json
+import os
+import sys
+
+RPS_DROP_TOLERANCE = 0.25  # fail below 75% of baseline
+HIT_RATE_DROP_TOLERANCE = 0.05  # fail below baseline - 5 points
+
+
+def fmt(value):
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+class Gate:
+    def __init__(self):
+        self.rows = []
+        self.failures = []
+
+    def check(self, metric, baseline, current, ok, requirement):
+        status = "ok" if ok else "**FAIL**"
+        delta = ""
+        if isinstance(baseline, (int, float)) and isinstance(
+            current, (int, float)
+        ) and baseline:
+            delta = f"{100.0 * (current - baseline) / baseline:+.1f}%"
+        self.rows.append(
+            (metric, fmt(baseline), fmt(current), delta, requirement, status)
+        )
+        if not ok:
+            self.failures.append(f"{metric}: {requirement} "
+                                 f"(baseline {fmt(baseline)}, "
+                                 f"current {fmt(current)})")
+
+    def table(self):
+        lines = [
+            "| metric | baseline | current | delta | requirement | status |",
+            "|---|---|---|---|---|---|",
+        ]
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        current = json.load(f)
+    with open(argv[2]) as f:
+        baseline = json.load(f)
+
+    gate = Gate()
+    gate.check(
+        "analytical_rps",
+        baseline["analytical_rps"],
+        current["analytical_rps"],
+        current["analytical_rps"]
+        >= (1.0 - RPS_DROP_TOLERANCE) * baseline["analytical_rps"],
+        f">= {100 * (1 - RPS_DROP_TOLERANCE):.0f}% of baseline",
+    )
+    gate.check(
+        "cache_hit_rate",
+        baseline["cache_hit_rate"],
+        current["cache_hit_rate"],
+        current["cache_hit_rate"]
+        >= baseline["cache_hit_rate"] - HIT_RATE_DROP_TOLERANCE,
+        f">= baseline - {HIT_RATE_DROP_TOLERANCE}",
+    )
+    gate.check("fidelity_divergences", 0, current["fidelity_divergences"],
+               current["fidelity_divergences"] == 0, "== 0")
+    gate.check("failed", 0, current["failed"], current["failed"] == 0, "== 0")
+
+    fleet = current.get("fleet")
+    fleet_base = baseline.get("fleet")
+    if fleet is not None and fleet_base is not None:
+        gate.check(
+            "fleet.modelled_speedup",
+            fleet_base["modelled_speedup"],
+            fleet["modelled_speedup"],
+            fleet["modelled_speedup"] > 1.0,
+            "> 1.0 (fleet beats best single chip)",
+        )
+        gate.check(
+            "fleet.fleet_modelled_rps",
+            fleet_base["fleet_modelled_rps"],
+            fleet["fleet_modelled_rps"],
+            fleet["fleet_modelled_rps"]
+            >= (1.0 - RPS_DROP_TOLERANCE) * fleet_base["fleet_modelled_rps"],
+            f">= {100 * (1 - RPS_DROP_TOLERANCE):.0f}% of baseline",
+        )
+        gate.check("fleet.fidelity_divergences", 0,
+                   fleet["fidelity_divergences"],
+                   fleet["fidelity_divergences"] == 0, "== 0")
+        gate.check("fleet.cancelled", fleet_base["cancelled"],
+                   fleet["cancelled"],
+                   fleet["cancelled"] == fleet_base["cancelled"],
+                   "== baseline (one past-deadline request in the trace)")
+    elif (fleet is None) != (fleet_base is None):
+        gate.check("fleet section", fleet_base is not None, fleet is not None,
+                   False, "present in both current and baseline")
+
+    title = "### BENCH_serve regression gate\n\n"
+    report = title + gate.table() + "\n"
+    print(report)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as f:
+            f.write(report + "\n")
+
+    if gate.failures:
+        for failure in gate.failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

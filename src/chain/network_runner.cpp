@@ -70,6 +70,8 @@ NetworkRunResult NetworkRunner::run(const nn::NetworkModel& net,
   }
 
   for (std::size_t i = 0; i < net.conv_layers.size(); ++i) {
+    if (options.cancel_check && options.cancel_check())
+      throw RunCancelled(static_cast<std::int64_t>(i));
     nn::ConvLayerParams layer = net.conv_layers[i];
     layer.batch = act.shape().dim(0);
     layer.in_height = act.shape().dim(2);

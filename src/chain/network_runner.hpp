@@ -8,6 +8,7 @@
 
 #include <functional>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "chain/accelerator.hpp"
@@ -16,6 +17,24 @@
 #include "nn/models.hpp"
 
 namespace chainnn::chain {
+
+// Thrown when NetworkRunOptions::cancel_check asks a run to stop at an
+// inter-layer checkpoint (the serving layer's deadline/cancellation
+// path). Carries how many conv layers had fully executed, so callers can
+// account the abandoned work.
+class RunCancelled : public std::runtime_error {
+ public:
+  explicit RunCancelled(std::int64_t completed_layers)
+      : std::runtime_error("network run cancelled after " +
+                           std::to_string(completed_layers) + " layer(s)"),
+        completed_layers_(completed_layers) {}
+  [[nodiscard]] std::int64_t completed_layers() const {
+    return completed_layers_;
+  }
+
+ private:
+  std::int64_t completed_layers_ = 0;
+};
 
 // Host-side processing applied to a layer's output before it feeds the
 // next conv layer.
@@ -66,6 +85,11 @@ struct NetworkRunOptions {
   // workers, other runs, sweep points). nullptr keeps the accelerator's
   // own cache. Semantics-free: results are bit-identical either way.
   std::shared_ptr<serve::PlanCache> plan_cache;
+  // Cooperative cancellation, polled at a checkpoint before every conv
+  // layer: when it returns true the run throws RunCancelled instead of
+  // starting the next layer. Layers are never interrupted mid-flight, so
+  // a cancelled run leaves no half-written accelerator state behind.
+  std::function<bool()> cancel_check;
 };
 
 class NetworkRunner {

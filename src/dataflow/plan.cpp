@@ -123,10 +123,15 @@ ExecutionPlan plan_layer(const nn::ConvLayerParams& layer,
 }
 
 std::int64_t ExecutionPlan::stream_slots_per_channel_pass() const {
+  return stream_slots_per_channel_pass_on(array);
+}
+
+std::int64_t ExecutionPlan::stream_slots_per_channel_pass_on(
+    const ArrayShape& a) const {
   std::int64_t slots = 0;
   for (const SubConvPlan& sp : subconvs)
-    slots += array.dual_channel ? sp.stream_slots_total()
-                                : sp.stream_slots_single_channel();
+    slots += a.dual_channel ? sp.stream_slots_total()
+                            : sp.stream_slots_single_channel();
   return slots;
 }
 
@@ -138,9 +143,13 @@ std::int64_t ExecutionPlan::cycles_per_image() const {
 }
 
 std::int64_t ExecutionPlan::drain_cycles() const {
+  return drain_cycles_on(array);
+}
+
+std::int64_t ExecutionPlan::drain_cycles_on(const ArrayShape& a) const {
   // Channel delay through the chain (2 registers per PE), the psum chain
   // of the last primitive, and the extra MAC pipeline stages.
-  return 2 * (primitives - 1) * taps + taps + (array.pipeline_stages - 1);
+  return 2 * (primitives - 1) * taps + taps + (a.pipeline_stages - 1);
 }
 
 std::int64_t ExecutionPlan::cycles_per_batch(std::int64_t batch) const {
@@ -242,6 +251,24 @@ std::size_t PlanKey::hash() const {
   mix(omemory_bytes);
   mix(word_bytes);
   return static_cast<std::size_t>(h);
+}
+
+RequestCycleEstimate estimate_request_cycles(const ExecutionPlan& plan,
+                                             std::int64_t batch) {
+  return estimate_request_cycles(plan, plan.array, batch);
+}
+
+RequestCycleEstimate estimate_request_cycles(const ExecutionPlan& plan,
+                                             const ArrayShape& array,
+                                             std::int64_t batch) {
+  CHAINNN_CHECK_MSG(batch >= 1, "batch must be >= 1, got " << batch);
+  RequestCycleEstimate est;
+  est.kernel_load_cycles = plan.kernel_load_cycles_per_batch();
+  est.stream_cycles = batch * plan.m_groups *
+                      plan.layer.channels_per_group() *
+                      plan.stream_slots_per_channel_pass_on(array);
+  est.drain_cycles = batch * plan.drain_cycles_on(array);
+  return est;
 }
 
 UtilizationRow utilization_row(const ArrayShape& array, std::int64_t kernel) {

@@ -106,6 +106,13 @@ struct ExecutionPlan {
   [[nodiscard]] std::int64_t stream_slots_per_channel_pass() const;
   [[nodiscard]] std::int64_t cycles_per_image() const;
   [[nodiscard]] std::int64_t drain_cycles() const;
+  // The two closed forms above evaluated against `a` instead of
+  // this->array: dual_channel and pipeline_stages are the only array
+  // fields they read, and both are outside PlanKey, so a plan shared
+  // through serve::PlanCache must be costed with the caller's array.
+  [[nodiscard]] std::int64_t stream_slots_per_channel_pass_on(
+      const ArrayShape& a) const;
+  [[nodiscard]] std::int64_t drain_cycles_on(const ArrayShape& a) const;
   [[nodiscard]] std::int64_t cycles_per_batch(std::int64_t batch) const;
   [[nodiscard]] double seconds_per_batch(std::int64_t batch) const;
 
@@ -171,6 +178,35 @@ struct PlanKey {
 struct PlanKeyHash {
   std::size_t operator()(const PlanKey& k) const { return k.hash(); }
 };
+
+// Closed-form cost of one serving request — `batch` images of the plan's
+// layer on the plan's array — broken into the components a router wants
+// to reason about. total() equals cycles_per_batch(batch) exactly, so a
+// modelled completion time is as trustworthy as the analytical engine
+// itself (which the test suite pins against the cycle-accurate
+// simulator). Routing layers fetch the plan by PlanKey through a shared
+// serve::PlanCache and call this, so sizing a request costs a hash
+// lookup, not a planning pass.
+struct RequestCycleEstimate {
+  std::int64_t kernel_load_cycles = 0;  // once per request (§V.B)
+  std::int64_t stream_cycles = 0;       // batch x per-image streaming
+  std::int64_t drain_cycles = 0;        // batch x per-image chain drain
+
+  [[nodiscard]] std::int64_t total() const {
+    return kernel_load_cycles + stream_cycles + drain_cycles;
+  }
+  [[nodiscard]] double seconds(double clock_hz) const {
+    return static_cast<double>(total()) / clock_hz;
+  }
+};
+[[nodiscard]] RequestCycleEstimate estimate_request_cycles(
+    const ExecutionPlan& plan, std::int64_t batch);
+// Same closed forms, but dual_channel / pipeline_stages read from
+// `array` — for costing a plan fetched by shared pointer out of
+// serve::PlanCache, whose stored array may differ from the caller's in
+// exactly those (non-key) fields.
+[[nodiscard]] RequestCycleEstimate estimate_request_cycles(
+    const ExecutionPlan& plan, const ArrayShape& array, std::int64_t batch);
 
 // Table II helper: active primitive/PE counts for a square kernel K
 // (pure chain regrouping — no memory constraints).

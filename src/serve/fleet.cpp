@@ -1,0 +1,211 @@
+#include "serve/fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace chainnn::serve {
+
+double FleetStats::modelled_makespan_seconds() const {
+  double makespan = 0.0;
+  for (const FleetChipStats& chip : chips)
+    makespan = std::max(makespan, chip.dispatched_seconds);
+  return makespan;
+}
+
+Fleet::Fleet(FleetOptions options)
+    : opts_(std::move(options)),
+      cache_(opts_.plan_cache ? opts_.plan_cache
+                              : std::make_shared<PlanCache>()) {
+  if (opts_.chips.empty()) opts_.chips = default_fleet_chips();
+  CHAINNN_CHECK_MSG(opts_.threads_per_chip >= 1,
+                    "threads_per_chip must be >= 1, got "
+                        << opts_.threads_per_chip);
+  router_ = std::make_unique<Router>(opts_.chips, cache_);
+
+  servers_.reserve(opts_.chips.size());
+  Router* router = router_.get();
+  for (std::size_t c = 0; c < opts_.chips.size(); ++c) {
+    const ChipSpec& chip = opts_.chips[c];
+    ServerOptions so;
+    so.accelerator = opts_.accelerator;
+    so.accelerator.array = chip.array;
+    so.accelerator.memory = chip.memory;
+    so.energy = opts_.energy;
+    so.name = chip.name;
+    so.num_threads = opts_.threads_per_chip;
+    so.max_queue = opts_.max_queue_per_chip;
+    so.fidelity_sample_every_n = opts_.fidelity_sample_every_n;
+    so.plan_cache = cache_;
+    // Request ids are per-server, so decorrelate the generated-input
+    // streams per chip (SplitMix64 expands the seed; a golden-ratio
+    // stride keeps chip streams disjoint for any realistic id range).
+    so.input_seed =
+        opts_.input_seed + 0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(c + 1);
+    so.completion_hook = [router, c](const InferenceResult& r) {
+      router->complete(c, r.modelled_seconds);
+    };
+    servers_.push_back(std::make_unique<InferenceServer>(std::move(so)));
+  }
+}
+
+std::future<InferenceResult> Fleet::submit(nn::NetworkModel net,
+                                           Tensor<std::int16_t> input,
+                                           RequestOptions options) {
+  // Mirror InferenceServer::submit's request validation *before* routing:
+  // a dispatch charges the chip's backlog, and only the completion hook
+  // retires it, so a request rejected after routing must be retracted.
+  CHAINNN_CHECK_MSG(!net.conv_layers.empty(),
+                    "cannot serve an empty network");
+  CHAINNN_CHECK(input.shape().rank() == 4);
+  CHAINNN_CHECK_MSG(options.num_workers >= 1,
+                    "num_workers must be >= 1, got " << options.num_workers);
+  const RouteDecision decision = router_->route_and_dispatch(
+      net, input.shape().dim(0), input.shape().dim(2), input.shape().dim(3),
+      options.inter_layer, options.array);
+  options.modelled_seconds = decision.request_seconds;
+  try {
+    return servers_[decision.chip]->submit(std::move(net), std::move(input),
+                                           std::move(options));
+  } catch (...) {
+    router_->retract(decision);
+    throw;
+  }
+}
+
+std::future<InferenceResult> Fleet::submit(const nn::NetworkModel& net,
+                                           std::int64_t batch,
+                                           RequestOptions options) {
+  CHAINNN_CHECK_MSG(batch >= 1, "batch must be >= 1, got " << batch);
+  CHAINNN_CHECK_MSG(!net.conv_layers.empty(),
+                    "cannot serve an empty network");
+  CHAINNN_CHECK_MSG(options.num_workers >= 1,
+                    "num_workers must be >= 1, got " << options.num_workers);
+  const nn::ConvLayerParams& first = net.conv_layers.front();
+  const RouteDecision decision = router_->route_and_dispatch(
+      net, batch, first.in_height, first.in_width, options.inter_layer,
+      options.array);
+  options.modelled_seconds = decision.request_seconds;
+  try {
+    return servers_[decision.chip]->submit(net, batch, std::move(options));
+  } catch (...) {
+    router_->retract(decision);
+    throw;
+  }
+}
+
+RouteDecision Fleet::plan_route(const nn::NetworkModel& net,
+                                std::int64_t batch,
+                                const RequestOptions& options) const {
+  CHAINNN_CHECK_MSG(!net.conv_layers.empty(),
+                    "cannot route an empty network");
+  const nn::ConvLayerParams& first = net.conv_layers.front();
+  return router_->route(net, batch, first.in_height, first.in_width,
+                        options.inter_layer, options.array);
+}
+
+void Fleet::wait_idle() {
+  for (const auto& server : servers_) server->wait_idle();
+}
+
+double FleetTraceReport::fleet_makespan_seconds() const {
+  double makespan = 0.0;
+  for (const double busy : busy_seconds) makespan = std::max(makespan, busy);
+  return makespan;
+}
+
+std::size_t FleetTraceReport::best_single_chip() const {
+  CHAINNN_CHECK(!single_chip_seconds.empty());
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < single_chip_seconds.size(); ++c)
+    if (single_chip_seconds[c] < single_chip_seconds[best]) best = c;
+  return best;
+}
+
+double FleetTraceReport::best_single_seconds() const {
+  return single_chip_seconds[best_single_chip()];
+}
+
+double FleetTraceReport::modelled_speedup() const {
+  const double makespan = fleet_makespan_seconds();
+  return makespan == 0.0 ? 0.0 : best_single_seconds() / makespan;
+}
+
+FleetTraceReport run_fleet_trace(Fleet& fleet,
+                                 const std::vector<FleetTraceEntry>& trace) {
+  const std::size_t num_chips = fleet.chips().size();
+  FleetTraceReport report;
+  report.busy_seconds.assign(num_chips, 0.0);
+  report.single_chip_seconds.assign(num_chips, 0.0);
+
+  // Per-entry modelled seconds on every chip, priced up front; charged
+  // below only for entries that actually complete, so a cancelled or
+  // failed request drops out of *both* sides of the comparison and
+  // cannot tilt the modelled speedup toward the fleet.
+  std::vector<std::vector<double>> entry_seconds(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const FleetTraceEntry& e = trace[i];
+    CHAINNN_CHECK_MSG(e.net && !e.net->conv_layers.empty(),
+                      "trace entry without a network");
+    const nn::ConvLayerParams& first = e.net->conv_layers.front();
+    entry_seconds[i].resize(num_chips);
+    // The entry's per-request array override applies on both sides:
+    // busy_seconds accrues override-based modelled_seconds, so pricing
+    // the single-chip replay on the chip's native array would compare
+    // two different workloads.
+    for (std::size_t c = 0; c < num_chips; ++c)
+      entry_seconds[i][c] = fleet.router().modelled_request_seconds(
+          c, *e.net, e.batch, first.in_height, first.in_width,
+          e.options.inter_layer, e.options.array);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::future<InferenceResult>> futures;
+  futures.reserve(trace.size());
+  for (const FleetTraceEntry& e : trace)
+    futures.push_back(fleet.submit(*e.net, e.batch, e.options));
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const InferenceResult r = futures[i].get();
+    if (r.status != RequestStatus::kOk) continue;
+    ++report.completed;
+    for (std::size_t c = 0; c < num_chips; ++c) {
+      report.single_chip_seconds[c] += entry_seconds[i][c];
+      if (fleet.chips()[c].name == r.chip)
+        report.busy_seconds[c] += r.modelled_seconds;
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  report.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return report;
+}
+
+FleetStats Fleet::stats() const {
+  FleetStats out;
+  const std::vector<double> backlog = router_->backlog_seconds();
+  const std::vector<double> dispatched = router_->dispatched_seconds();
+  const std::vector<std::int64_t> routed = router_->routed_counts();
+  out.chips.reserve(servers_.size());
+  for (std::size_t c = 0; c < servers_.size(); ++c) {
+    FleetChipStats chip;
+    chip.name = opts_.chips[c].name;
+    chip.server = servers_[c]->stats();
+    chip.routed = routed[c];
+    chip.backlog_seconds = backlog[c];
+    chip.dispatched_seconds = dispatched[c];
+    out.submitted += chip.server.submitted;
+    out.completed += chip.server.completed;
+    out.failed += chip.server.failed;
+    out.cancelled += chip.server.cancelled;
+    out.deadline_misses += chip.server.deadline_misses;
+    out.fidelity_samples += chip.server.fidelity_samples;
+    out.fidelity_divergences += chip.server.fidelity_divergences;
+    out.chips.push_back(std::move(chip));
+  }
+  out.plan_cache = cache_->stats();
+  return out;
+}
+
+}  // namespace chainnn::serve

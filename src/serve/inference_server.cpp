@@ -3,17 +3,25 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
-#include <deque>
 #include <exception>
 #include <mutex>
 #include <sstream>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
 
 namespace chainnn::serve {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+}  // namespace
 
 bool network_runs_identical(const chain::NetworkRunResult& a,
                             const chain::NetworkRunResult& b,
@@ -54,7 +62,25 @@ struct InferenceServer::Task {
   nn::NetworkModel net;
   Tensor<std::int16_t> input;
   RequestOptions options;
+  // Absolute deadline derived from deadline_ms at submission time;
+  // nullopt when the request has none.
+  std::optional<Clock::time_point> deadline;
+  Clock::time_point enqueued;
   std::promise<InferenceResult> promise;
+
+  // Heap order (std::push_heap keeps the max on top, so "less" means
+  // "scheduled later"): lower priority tier first loses; within a tier
+  // the later deadline loses (EDF, no deadline = latest possible); ties
+  // fall back to submission order, which makes a priority-less,
+  // deadline-less server exactly the old FIFO.
+  [[nodiscard]] static bool scheduled_after(const Task& a, const Task& b) {
+    if (a.options.priority != b.options.priority)
+      return a.options.priority < b.options.priority;
+    const auto da = a.deadline.value_or(Clock::time_point::max());
+    const auto db = b.deadline.value_or(Clock::time_point::max());
+    if (da != db) return da > db;
+    return a.id > b.id;
+  }
 };
 
 struct InferenceServer::State {
@@ -62,7 +88,7 @@ struct InferenceServer::State {
   std::condition_variable work_ready;   // queue gained a task / stopping
   std::condition_variable space_ready;  // queue dropped below max_queue
   std::condition_variable idle;         // completed caught up to submitted
-  std::deque<Task> queue;
+  std::vector<Task> queue;  // heap ordered by Task::scheduled_after
   std::vector<std::thread> threads;
   bool stop = false;
 
@@ -143,6 +169,12 @@ std::int64_t InferenceServer::allocate_id() {
 }
 
 std::future<InferenceResult> InferenceServer::enqueue(Task&& task) {
+  task.enqueued = Clock::now();
+  if (task.options.deadline_ms)
+    task.deadline =
+        task.enqueued + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double, std::milli>(
+                                *task.options.deadline_ms));
   std::future<InferenceResult> future = task.promise.get_future();
   std::unique_lock<std::mutex> lock(state_->mu);
   state_->space_ready.wait(lock, [this] {
@@ -151,6 +183,8 @@ std::future<InferenceResult> InferenceServer::enqueue(Task&& task) {
   });
   ++state_->stats.submitted;
   state_->queue.push_back(std::move(task));
+  std::push_heap(state_->queue.begin(), state_->queue.end(),
+                 Task::scheduled_after);
   state_->stats.peak_queue_depth =
       std::max(state_->stats.peak_queue_depth,
                static_cast<std::int64_t>(state_->queue.size()));
@@ -177,7 +211,8 @@ ServerStats InferenceServer::stats() const {
 }
 
 chain::NetworkRunResult InferenceServer::run_network(
-    const chain::AcceleratorConfig& cfg, const Task& task) {
+    const chain::AcceleratorConfig& cfg, const Task& task,
+    const std::function<bool()>& cancel_check) {
   chain::ChainAccelerator acc(cfg, cache_);
   chain::NetworkRunner runner(acc, opts_.energy);
   chain::NetworkRunOptions ro;
@@ -186,25 +221,51 @@ chain::NetworkRunResult InferenceServer::run_network(
   ro.weight_init = task.options.weight_init;
   ro.num_workers = task.options.num_workers;
   ro.plan_cache = cache_;
+  ro.cancel_check = cancel_check;
   return runner.run(task.net, task.input, ro);
 }
 
 InferenceResult InferenceServer::execute_request(Task& task) {
   InferenceResult out;
   out.request_id = task.id;
+  out.chip = opts_.name;
+  out.modelled_seconds = task.options.modelled_seconds;
 
   chain::AcceleratorConfig cfg = opts_.accelerator;
   if (task.options.array) cfg.array = *task.options.array;
   if (task.options.exec_mode) cfg.exec_mode = *task.options.exec_mode;
   out.exec_mode = cfg.exec_mode;
 
-  const auto t0 = std::chrono::steady_clock::now();
-  out.run = run_network(cfg, task);
-  const auto t1 = std::chrono::steady_clock::now();
-  out.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  // Cancellation applies to the primary run only: a fidelity replay
+  // exists to cross-check a result that was already produced, so
+  // interrupting it would only manufacture false divergences.
+  const std::optional<Clock::time_point> deadline = task.deadline;
+  const std::shared_ptr<std::atomic<bool>> token = task.options.cancel;
+  std::function<bool()> cancel_check;
+  if (deadline || token)
+    cancel_check = [deadline, token] {
+      if (token && token->load(std::memory_order_relaxed)) return true;
+      return deadline && Clock::now() > *deadline;
+    };
+
+  const auto t0 = Clock::now();
+  out.queue_ms = ms_between(task.enqueued, t0);
+  try {
+    out.run = run_network(cfg, task, cancel_check);
+    out.completed_layers =
+        static_cast<std::int64_t>(out.run.layers.size());
+  } catch (const chain::RunCancelled& cancelled) {
+    out.status = RequestStatus::kCancelled;
+    out.completed_layers = cancelled.completed_layers();
+    out.run = chain::NetworkRunResult{};
+  }
+  const auto t1 = Clock::now();
+  out.wall_ms = ms_between(t0, t1);
+  if (out.status == RequestStatus::kOk && deadline && t1 > *deadline)
+    out.deadline_missed = true;
 
   const std::int64_t n = opts_.fidelity_sample_every_n;
-  if (n > 0 && task.id % n == 0) {
+  if (out.status == RequestStatus::kOk && n > 0 && task.id % n == 0) {
     // Replay on the other engine and cross-check. NetworkRunner re-draws
     // the same deterministic weights and the input tensor is the stored
     // one, so the two runs are comparable bit for bit.
@@ -212,7 +273,7 @@ InferenceResult InferenceServer::execute_request(Task& task) {
     replay_cfg.exec_mode = cfg.exec_mode == chain::ExecMode::kAnalytical
                                ? chain::ExecMode::kCycleAccurate
                                : chain::ExecMode::kAnalytical;
-    chain::NetworkRunResult replay = run_network(replay_cfg, task);
+    chain::NetworkRunResult replay = run_network(replay_cfg, task, {});
     if (opts_.fidelity_mutator_for_test)
       opts_.fidelity_mutator_for_test(task.id, replay);
     out.fidelity.sampled = true;
@@ -234,46 +295,87 @@ void InferenceServer::worker_loop() {
       if (state_->stop) return;
       continue;
     }
-    Task task = std::move(state_->queue.front());
-    state_->queue.pop_front();
+    std::pop_heap(state_->queue.begin(), state_->queue.end(),
+                  Task::scheduled_after);
+    Task task = std::move(state_->queue.back());
+    state_->queue.pop_back();
     ++state_->in_flight;
     lock.unlock();
     state_->space_ready.notify_one();
 
+    // A request already past its deadline (or cancelled) when it reaches
+    // the front — including a deadline in the past at submit — resolves
+    // kCancelled without touching the execution stack.
+    const bool dead_on_arrival =
+        (task.options.cancel &&
+         task.options.cancel->load(std::memory_order_relaxed)) ||
+        (task.deadline && Clock::now() > *task.deadline);
+
     InferenceResult result;
     std::exception_ptr error;
-    try {
-      result = execute_request(task);
-    } catch (...) {
-      error = std::current_exception();
+    if (dead_on_arrival) {
+      result.request_id = task.id;
+      result.chip = opts_.name;
+      result.modelled_seconds = task.options.modelled_seconds;
+      result.status = RequestStatus::kCancelled;
+      result.queue_ms = ms_between(task.enqueued, Clock::now());
+    } else {
+      try {
+        result = execute_request(task);
+      } catch (...) {
+        error = std::current_exception();
+      }
     }
 
     lock.lock();
-    --state_->in_flight;
     if (error) {
       ++state_->stats.failed;
+    } else if (result.status == RequestStatus::kCancelled) {
+      ++state_->stats.cancelled;
     } else {
       ++state_->stats.completed;
       if (result.exec_mode == chain::ExecMode::kAnalytical)
         ++state_->stats.analytical_runs;
       else
         ++state_->stats.cycle_accurate_runs;
+      if (result.deadline_missed) ++state_->stats.deadline_misses;
       if (result.fidelity.sampled) {
         ++state_->stats.fidelity_samples;
         if (result.fidelity.diverged) ++state_->stats.fidelity_divergences;
       }
     }
-    if (state_->queue.empty() && state_->in_flight == 0)
-      state_->idle.notify_all();
     lock.unlock();
     // Fulfill outside the lock: future continuations must not run under
-    // the server mutex.
+    // the server mutex. The hook runs *before* the promise resolves, so
+    // by the time a caller observes the result the routed backlog has
+    // already been retired (and test observers have recorded the
+    // completion).
+    if (opts_.completion_hook) {
+      if (error) {
+        // The promise carries the error; the hook still needs the id
+        // and routed accounting to retire the request.
+        InferenceResult failed;
+        failed.request_id = task.id;
+        failed.chip = opts_.name;
+        failed.modelled_seconds = task.options.modelled_seconds;
+        failed.status = RequestStatus::kFailed;
+        opts_.completion_hook(failed);
+      } else {
+        opts_.completion_hook(result);
+      }
+    }
     if (error) {
       task.promise.set_exception(error);
     } else {
       task.promise.set_value(std::move(result));
     }
+    // The request only stops counting as in-flight once its hook has run
+    // and its future resolved, so wait_idle() => every hook has fired
+    // (the Fleet relies on this to read fully-retired backlogs).
     lock.lock();
+    --state_->in_flight;
+    if (state_->queue.empty() && state_->in_flight == 0)
+      state_->idle.notify_all();
   }
 }
 

@@ -9,6 +9,23 @@
 // request only pays planning cost the first time its (layer, array)
 // shape is seen by the process.
 //
+// Scheduling: the queue is a priority heap, not a FIFO. Higher
+// RequestOptions::priority tiers always dequeue first; within a tier the
+// order is earliest-deadline-first (requests without a deadline sort
+// last), and ties fall back to submission order, so a server driven
+// without priorities or deadlines behaves exactly like the old FIFO.
+//
+// Deadlines and cancellation: RequestOptions::deadline_ms is a wall
+// budget from submission. A request whose deadline has already passed
+// when a worker picks it up — including a deadline in the past at
+// submit — is not executed; mid-run, the deadline (and the optional
+// RequestOptions::cancel token) is polled at NetworkRunner's inter-layer
+// checkpoints and the run aborts at the next one. Either way the future
+// resolves normally with RequestStatus::kCancelled (never an exception),
+// and the cancellation is counted in ServerStats. A request that runs to
+// completion past its deadline stays kOk but is flagged deadline_missed
+// and counted in ServerStats::deadline_misses.
+//
 // Per-request knobs:
 //   * ExecMode — capacity-planning requests run on the analytical fast
 //     path, fidelity-sensitive ones cycle-accurately, in one process;
@@ -24,6 +41,7 @@
 // Divergences are recorded in ServerStats and flagged on the result.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -47,6 +65,16 @@ namespace chainnn::serve {
                                           const chain::NetworkRunResult& b,
                                           std::string* why = nullptr);
 
+// Terminal state of a request. Futures only ever resolve with kOk or
+// kCancelled (errors resolve the future with the exception instead);
+// kFailed appears solely on the InferenceResult handed to
+// ServerOptions::completion_hook for a request that threw.
+enum class RequestStatus {
+  kOk,         // ran to completion
+  kCancelled,  // deadline passed or cancel token set before/mid-run
+  kFailed,     // request threw (hook-only; the promise carries the error)
+};
+
 struct RequestOptions {
   // Engine for this request; nullopt uses the server accelerator's mode.
   std::optional<chain::ExecMode> exec_mode;
@@ -56,6 +84,20 @@ struct RequestOptions {
   std::optional<dataflow::ArrayShape> array;
   // Batch sharding inside the request (BatchExecutor worker threads).
   std::int64_t num_workers = 1;
+  // Scheduling tier: higher values always dequeue before lower ones.
+  std::int32_t priority = 0;
+  // Wall-clock budget in milliseconds from submission; nullopt = none.
+  // Doubles as the EDF key within a priority tier. May be zero or
+  // negative (a deadline already in the past): such a request resolves
+  // kCancelled without executing.
+  std::optional<double> deadline_ms;
+  // External cancellation: set to true at any time to abort the request
+  // at its next inter-layer checkpoint (or before it starts).
+  std::shared_ptr<std::atomic<bool>> cancel;
+  // Modelled execution seconds, stamped by the Fleet router when it
+  // dispatches the request; echoed back on InferenceResult so completion
+  // hooks can retire the backlog they admitted. Informational here.
+  double modelled_seconds = 0.0;
   // Forwarded to NetworkRunOptions.
   bool verify_against_golden = false;
   std::vector<chain::InterLayerOp> inter_layer;
@@ -70,16 +112,26 @@ struct FidelityReport {
 
 struct InferenceResult {
   std::int64_t request_id = 0;
+  RequestStatus status = RequestStatus::kOk;
   chain::ExecMode exec_mode = chain::ExecMode::kAnalytical;
-  chain::NetworkRunResult run;
+  chain::NetworkRunResult run;  // empty when status == kCancelled
   FidelityReport fidelity;
+  // Conv layers fully executed before a mid-run cancellation stopped the
+  // request (equals the network size for kOk results).
+  std::int64_t completed_layers = 0;
+  bool deadline_missed = false;  // completed, but after its deadline
+  std::string chip;              // ServerOptions::name of the executing chip
+  double modelled_seconds = 0.0;  // echoed from RequestOptions
+  double queue_ms = 0.0;          // submit -> execution start
   double wall_ms = 0.0;  // execution wall time (excludes queueing)
 };
 
 struct ServerStats {
   std::int64_t submitted = 0;
-  std::int64_t completed = 0;
+  std::int64_t completed = 0;  // kOk resolutions
   std::int64_t failed = 0;  // request threw (promise carries the error)
+  std::int64_t cancelled = 0;        // kCancelled resolutions
+  std::int64_t deadline_misses = 0;  // completed after their deadline
   std::int64_t analytical_runs = 0;
   std::int64_t cycle_accurate_runs = 0;
   std::int64_t fidelity_samples = 0;
@@ -101,6 +153,9 @@ struct ServerOptions {
   // Base accelerator config; requests override exec_mode / array.
   chain::AcceleratorConfig accelerator = analytical_accelerator_config();
   energy::EnergyModel energy = energy::EnergyModel::paper_calibrated();
+  // Name stamped on every InferenceResult::chip — lets fleet members be
+  // told apart downstream. Empty for a standalone server.
+  std::string name;
   std::int64_t num_threads = 2;
   std::int64_t max_queue = 64;  // submit() blocks while this many queued
   // Re-run every Nth request (by submission id) on the other engine and
@@ -110,6 +165,16 @@ struct ServerOptions {
   std::shared_ptr<PlanCache> plan_cache;
   // Seed for inputs generated by the submit(net, batch, ...) overload.
   std::uint64_t input_seed = 7;
+  // Called once per request, outside the server lock, immediately
+  // *before* its future resolves — so by the time a caller observes the
+  // result, the hook has already run (the Fleet relies on this to have
+  // retired routed backlog; tests use it to observe completion order).
+  // Every outcome fires it: kOk and kCancelled hooks receive the same
+  // result the future carries; for a request that threw, the hook
+  // receives a stub with status kFailed and only request_id / chip /
+  // modelled_seconds populated (the promise carries the error itself).
+  // wait_idle() returns only after all hooks have fired.
+  std::function<void(const InferenceResult&)> completion_hook;
   // TEST HOOK: mutates the fidelity replay before the cross-check, so
   // tests can prove an injected divergence is caught and counted.
   std::function<void(std::int64_t request_id, chain::NetworkRunResult&)>
@@ -157,7 +222,8 @@ class InferenceServer {
   [[nodiscard]] std::future<InferenceResult> enqueue(Task&& task);
   [[nodiscard]] InferenceResult execute_request(Task& task);
   [[nodiscard]] chain::NetworkRunResult run_network(
-      const chain::AcceleratorConfig& cfg, const Task& task);
+      const chain::AcceleratorConfig& cfg, const Task& task,
+      const std::function<bool()>& cancel_check);
   void worker_loop();
 
   ServerOptions opts_;

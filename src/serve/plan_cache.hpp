@@ -14,9 +14,17 @@
 // have built (tests/serve/test_plan_cache.cpp pins this equivalence).
 // Sharing one cache between threads is safe; lookups under contention
 // return identical plans.
+//
+// Long-running fleets see an unbounded stream of (layer, array) shapes,
+// so the cache can be given a byte budget (PlanCacheOptions::max_bytes):
+// entries are kept in LRU order and the least-recently-used ones are
+// evicted once the approximate resident footprint exceeds the budget.
+// Eviction only ever costs a re-plan on the next miss — results stay
+// bit-identical (eviction is as semantics-free as the cache itself).
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -29,6 +37,8 @@ struct PlanCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t entries = 0;
+  std::uint64_t evictions = 0;  // entries dropped to stay under max_bytes
+  std::uint64_t bytes = 0;      // approximate resident footprint
 
   [[nodiscard]] std::uint64_t lookups() const { return hits + misses; }
   [[nodiscard]] double hit_rate() const {
@@ -38,9 +48,25 @@ struct PlanCacheStats {
   }
 };
 
+struct PlanCacheOptions {
+  // LRU byte budget over the approximate per-entry footprint
+  // (plan_footprint_bytes). 0 = unbounded (the historical behaviour).
+  // The most recently used entry is never evicted, so a budget smaller
+  // than one plan degrades to a one-entry cache rather than thrashing to
+  // zero.
+  std::uint64_t max_bytes = 0;
+};
+
+// Approximate heap footprint of one cached plan: the struct itself plus
+// its owned vectors/strings. Used for the LRU budget; deliberately an
+// estimate (malloc overhead and map/list nodes are charged as a flat
+// constant).
+[[nodiscard]] std::uint64_t plan_footprint_bytes(
+    const dataflow::ExecutionPlan& plan);
+
 class PlanCache {
  public:
-  PlanCache() = default;
+  explicit PlanCache(PlanCacheOptions options = {});
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
@@ -59,18 +85,45 @@ class PlanCache {
       const nn::ConvLayerParams& layer, const dataflow::ArrayShape& array,
       const mem::HierarchyConfig& memory, Lookup* lookup = nullptr);
 
+  // The cached entry itself, without plan_for's re-stamping copy (an
+  // ExecutionPlan owns per-subconv strip vectors, so the copy dominates
+  // the cost of sizing a request on the routing hot path). The entry
+  // carries the layer/array/memory of whichever call first populated it
+  // — equal to the caller's in every PlanKey field but possibly not
+  // outside the key (batch, name, clock, dual_channel, pipeline_stages,
+  // iMemory/kMemory capacities) — so callers must read only key-derived
+  // structure, or closed forms taking the caller's array explicitly
+  // (dataflow::estimate_request_cycles(plan, array, batch)).
+  [[nodiscard]] std::shared_ptr<const dataflow::ExecutionPlan>
+  shared_plan_for(const nn::ConvLayerParams& layer,
+                  const dataflow::ArrayShape& array,
+                  const mem::HierarchyConfig& memory,
+                  Lookup* lookup = nullptr);
+
   [[nodiscard]] PlanCacheStats stats() const;
   [[nodiscard]] std::uint64_t size() const;
+  [[nodiscard]] const PlanCacheOptions& options() const { return opts_; }
   void clear();  // drops entries and resets the hit/miss counters
 
  private:
+  struct Entry {
+    std::shared_ptr<const dataflow::ExecutionPlan> plan;
+    std::uint64_t bytes = 0;
+    std::list<dataflow::PlanKey>::iterator lru;  // position in lru_
+  };
+
+  // Both require mu_ held.
+  void touch(Entry& entry);
+  void evict_to_budget();
+
+  PlanCacheOptions opts_;
   mutable std::mutex mu_;
-  std::unordered_map<dataflow::PlanKey,
-                     std::shared_ptr<const dataflow::ExecutionPlan>,
-                     dataflow::PlanKeyHash>
-      map_;
+  std::unordered_map<dataflow::PlanKey, Entry, dataflow::PlanKeyHash> map_;
+  std::list<dataflow::PlanKey> lru_;  // front = most recently used
+  std::uint64_t bytes_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace chainnn::serve

@@ -1,0 +1,155 @@
+// Router — deadline-aware, model-driven request placement.
+//
+// Chain-NN's fixed dataflow makes a layer's latency a *closed form* of
+// (layer geometry, array shape) — dataflow::estimate_request_cycles over
+// a cached ExecutionPlan. The router exploits that: instead of guessing
+// from load averages, it computes the modelled chain seconds a request
+// will take on every chip of a heterogeneous fleet (plans fetched by
+// PlanKey through the shared serve::PlanCache, so sizing is a hash
+// lookup after the first sighting of a shape), adds the chip's current
+// modelled backlog, and picks the earliest finish time. The estimate is
+// exact for the request's chain time — the analytical engine executes
+// the very same closed forms — so routing quality degrades only through
+// host-side effects (queueing granularity, worker scheduling), not
+// through model error.
+//
+// The router is execution-agnostic: it never runs anything. Fleet calls
+// route()/dispatch() at submission and complete() from the per-chip
+// completion hook, keeping per-chip backlogs in modelled seconds.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/network_runner.hpp"
+#include "mem/hierarchy.hpp"
+#include "nn/models.hpp"
+#include "serve/plan_cache.hpp"
+
+namespace chainnn::serve {
+
+// One simulated accelerator of a fleet.
+struct ChipSpec {
+  std::string name;
+  dataflow::ArrayShape array;
+  mem::HierarchyConfig memory;
+};
+
+// The standard 3-chip heterogeneous fleet: the paper's 576-PE chip plus
+// a half-length higher-clocked chip and a double-length lower-clocked
+// one, with SRAM capacities scaled to the chain length. No chip
+// dominates the others across all layer shapes, so earliest-finish
+// routing has real work to do.
+[[nodiscard]] std::vector<ChipSpec> default_fleet_chips();
+
+// The conv layers of `net` as NetworkRunner will actually execute them
+// for a {batch, C0, in_height, in_width} input: per-layer H/W resolved
+// from the flowing activations (pooling in `inter_layer` shrinks the
+// next layer's input, exactly as in NetworkRunner::run).
+[[nodiscard]] std::vector<nn::ConvLayerParams> resolve_network_layers(
+    const nn::NetworkModel& net, std::int64_t batch, std::int64_t in_height,
+    std::int64_t in_width, const std::vector<chain::InterLayerOp>& inter_layer);
+
+struct RouteDecision {
+  std::size_t chip = 0;
+  std::string chip_name;
+  // Modelled chain seconds this request needs on the chosen chip.
+  double request_seconds = 0.0;
+  // Modelled seconds of work already routed to (and not yet completed
+  // by) the chosen chip when the decision was taken.
+  double backlog_seconds = 0.0;
+  [[nodiscard]] double finish_seconds() const {
+    return backlog_seconds + request_seconds;
+  }
+  std::int64_t request_cycles = 0;  // at the chosen chip's clock
+};
+
+class Router {
+ public:
+  Router(std::vector<ChipSpec> chips, std::shared_ptr<PlanCache> cache);
+
+  [[nodiscard]] const std::vector<ChipSpec>& chips() const { return chips_; }
+
+  // Modelled chain time of `batch` images of `net` on chip `chip`.
+  // `array_override`, when set, replaces the chip's array (a request
+  // pinning its own ArrayShape still gets backlog-aware placement).
+  [[nodiscard]] dataflow::RequestCycleEstimate modelled_request_cycles(
+      std::size_t chip, const nn::NetworkModel& net, std::int64_t batch,
+      std::int64_t in_height, std::int64_t in_width,
+      const std::vector<chain::InterLayerOp>& inter_layer,
+      const std::optional<dataflow::ArrayShape>& array_override = {}) const;
+  [[nodiscard]] double modelled_request_seconds(
+      std::size_t chip, const nn::NetworkModel& net, std::int64_t batch,
+      std::int64_t in_height, std::int64_t in_width,
+      const std::vector<chain::InterLayerOp>& inter_layer,
+      const std::optional<dataflow::ArrayShape>& array_override = {}) const;
+
+  // Earliest-finish-time placement over the current backlogs. Pure: the
+  // backlog is only charged when the caller commits with dispatch().
+  [[nodiscard]] RouteDecision route(
+      const nn::NetworkModel& net, std::int64_t batch,
+      std::int64_t in_height, std::int64_t in_width,
+      const std::vector<chain::InterLayerOp>& inter_layer,
+      const std::optional<dataflow::ArrayShape>& array_override = {}) const;
+
+  // route() + dispatch() under one lock hold: concurrent submitters each
+  // see the backlog the previous decision committed, so two simultaneous
+  // requests cannot both pick the same chip off a stale snapshot (the
+  // cycle estimation itself still runs outside the lock). This is what
+  // Fleet::submit uses.
+  [[nodiscard]] RouteDecision route_and_dispatch(
+      const nn::NetworkModel& net, std::int64_t batch,
+      std::int64_t in_height, std::int64_t in_width,
+      const std::vector<chain::InterLayerOp>& inter_layer,
+      const std::optional<dataflow::ArrayShape>& array_override = {});
+
+  // Commits a decision: charges its modelled seconds to the chip's
+  // backlog and counts the dispatch.
+  void dispatch(const RouteDecision& decision);
+  // Reverses a committed decision whose request never reached a server
+  // queue (the enqueue threw after routing): backlog, cumulative
+  // dispatched seconds and the routed count all give the seconds back,
+  // so a failed submit cannot permanently skew placement.
+  void retract(const RouteDecision& decision);
+  // Retires `request_seconds` of backlog from `chip` (completion hook).
+  void complete(std::size_t chip, double request_seconds);
+
+  [[nodiscard]] std::vector<double> backlog_seconds() const;
+  [[nodiscard]] std::vector<std::int64_t> routed_counts() const;
+  // Cumulative modelled seconds ever dispatched per chip — the fleet's
+  // modelled busy time, from which a trace's modelled makespan follows.
+  [[nodiscard]] std::vector<double> dispatched_seconds() const;
+
+ private:
+  // Per-chip request seconds (and total cycles), estimated without
+  // touching the backlogs; requires no lock.
+  struct Estimates {
+    std::vector<dataflow::RequestCycleEstimate> cycles;
+    std::vector<double> seconds;
+  };
+  [[nodiscard]] Estimates estimate_all(
+      const nn::NetworkModel& net, std::int64_t batch,
+      std::int64_t in_height, std::int64_t in_width,
+      const std::vector<chain::InterLayerOp>& inter_layer,
+      const std::optional<dataflow::ArrayShape>& array_override) const;
+  // Cycle cost of already-resolved layers on one chip; requires no lock.
+  [[nodiscard]] dataflow::RequestCycleEstimate cycles_for_resolved(
+      std::size_t chip, const std::vector<nn::ConvLayerParams>& layers,
+      std::int64_t batch,
+      const std::optional<dataflow::ArrayShape>& array_override) const;
+  // Picks the earliest finish over backlog_; requires mu_ held.
+  [[nodiscard]] RouteDecision pick_locked(const Estimates& est) const;
+
+  std::vector<ChipSpec> chips_;
+  std::shared_ptr<PlanCache> cache_;
+  mutable std::mutex mu_;  // guards the three vectors below
+  std::vector<double> backlog_;
+  std::vector<double> dispatched_;
+  std::vector<std::int64_t> routed_;
+};
+
+}  // namespace chainnn::serve

@@ -114,5 +114,48 @@ TEST(NetworkRunner, SkipVerificationStillRuns) {
   EXPECT_TRUE(res.all_verified());  // vacuously marked verified
 }
 
+TEST(NetworkRunner, CancelCheckStopsBetweenLayers) {
+  AcceleratorConfig cfg = small_cfg();
+  ChainAccelerator acc(cfg);
+  const auto model = energy::EnergyModel::paper_calibrated();
+  NetworkRunner runner(acc, model);
+
+  Rng rng(3);
+  Tensor<std::int16_t> input(Shape{1, 1, 12, 12});
+  input.fill_random(rng, -64, 64);
+
+  // Trip the token while layer 0's weights are drawn: the checkpoint
+  // before layer 1 must abort the run with exactly one layer executed.
+  bool cancel = false;
+  NetworkRunOptions opts;
+  opts.weight_init = [&cancel](std::int64_t layer_index,
+                               Tensor<std::int16_t>& kernels) {
+    if (layer_index == 0) cancel = true;
+    Rng wrng(9);
+    kernels.fill_random(wrng, -16, 16);
+  };
+  opts.cancel_check = [&cancel] { return cancel; };
+  try {
+    (void)runner.run(tiny_net(), input, opts);
+    FAIL() << "expected RunCancelled";
+  } catch (const RunCancelled& cancelled) {
+    EXPECT_EQ(cancelled.completed_layers(), 1);
+  }
+
+  // A pre-tripped token cancels before any layer runs.
+  opts.weight_init = nullptr;
+  try {
+    (void)runner.run(tiny_net(), input, opts);
+    FAIL() << "expected RunCancelled";
+  } catch (const RunCancelled& cancelled) {
+    EXPECT_EQ(cancelled.completed_layers(), 0);
+  }
+
+  // And an untripped token leaves the run untouched.
+  cancel = false;
+  const NetworkRunResult res = runner.run(tiny_net(), input, opts);
+  EXPECT_EQ(res.layers.size(), 2u);
+}
+
 }  // namespace
 }  // namespace chainnn::chain

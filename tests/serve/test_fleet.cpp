@@ -1,0 +1,210 @@
+// Fleet: earliest-finish routing across heterogeneous chips, shared
+// plan cache, deadline/cancellation accounting, and — the load-bearing
+// guarantee — bit-identity of a fleet-routed run against direct
+// execution on the routed chip, with fidelity sampling cross-checking
+// both engines on every request.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "chain/network_runner.hpp"
+#include "common/rng.hpp"
+#include "serve/fleet.hpp"
+
+namespace chainnn::serve {
+namespace {
+
+nn::NetworkModel tiny_net() {
+  nn::NetworkModel net;
+  net.name = "tiny";
+  nn::ConvLayerParams l1;
+  l1.name = "c1";
+  l1.in_channels = 2;
+  l1.out_channels = 3;
+  l1.in_height = l1.in_width = 8;
+  l1.kernel = 3;
+  l1.pad = 1;
+  l1.validate();
+  nn::ConvLayerParams l2;
+  l2.name = "c2";
+  l2.in_channels = 3;
+  l2.out_channels = 2;
+  l2.in_height = l2.in_width = 8;
+  l2.kernel = 3;
+  l2.pad = 1;
+  l2.validate();
+  net.conv_layers = {l1, l2};
+  return net;
+}
+
+TEST(Fleet, SpreadsIdenticalRequestsAcrossChips) {
+  FleetOptions fo;
+  fo.threads_per_chip = 1;
+  Fleet fleet(fo);
+  ASSERT_EQ(fleet.chips().size(), 3u);
+
+  const nn::NetworkModel net = tiny_net();
+  // Gate every execution until all nine requests are routed: no request
+  // completes (and retires backlog) mid-submission, so the placement
+  // sequence is a pure function of the modelled backlogs and the test
+  // is independent of host timing.
+  std::promise<void> open_gate;
+  std::shared_future<void> gate = open_gate.get_future().share();
+  RequestOptions gated;
+  gated.weight_init = [gate](std::int64_t, Tensor<std::int16_t>& kernels) {
+    gate.wait();
+    Rng rng(7);
+    kernels.fill_random(rng, -16, 16);
+  };
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 9; ++i)
+    futures.push_back(fleet.submit(net, /*batch=*/1, gated));
+  open_gate.set_value();
+  for (auto& f : futures) {
+    const InferenceResult r = f.get();
+    EXPECT_EQ(r.status, RequestStatus::kOk);
+    EXPECT_FALSE(r.chip.empty());
+    EXPECT_GT(r.modelled_seconds, 0.0);
+  }
+  fleet.wait_idle();
+
+  const FleetStats stats = fleet.stats();
+  EXPECT_EQ(stats.submitted, 9);
+  EXPECT_EQ(stats.completed, 9);
+  EXPECT_EQ(stats.failed, 0);
+  // Identical requests + modelled backlog => round-robin-like spread:
+  // every chip sees work (one chip serving all 9 would mean the backlog
+  // term is being ignored).
+  int chips_used = 0;
+  for (const FleetChipStats& chip : stats.chips) {
+    EXPECT_EQ(chip.routed, chip.server.submitted);
+    if (chip.routed > 0) ++chips_used;
+  }
+  EXPECT_EQ(chips_used, 3);
+  // All backlog retired once idle; cumulative busy time remains.
+  for (const FleetChipStats& chip : stats.chips) {
+    EXPECT_NEAR(chip.backlog_seconds, 0.0, 1e-12);
+    if (chip.routed > 0) EXPECT_GT(chip.dispatched_seconds, 0.0);
+  }
+  EXPECT_GT(stats.modelled_makespan_seconds(), 0.0);
+  // One shared cache fleet-wide: later chips hit on earlier chips' plans
+  // only when shapes coincide; at minimum the per-chip second requests
+  // hit. Entries cover (2 layers) x (3 arrays).
+  EXPECT_GT(stats.plan_cache.hits, 0u);
+}
+
+TEST(Fleet, FleetVsDirectBitIdentityUnderFullFidelitySampling) {
+  FleetOptions fo;
+  fo.fidelity_sample_every_n = 1;  // cross-check every request
+  Fleet fleet(fo);
+  const nn::NetworkModel net = tiny_net();
+
+  Tensor<std::int16_t> input(Shape{2, 2, 8, 8});
+  Rng rng(1234);
+  input.fill_random(rng, -64, 64);
+
+  const InferenceResult r = fleet.submit(net, input, {}).get();
+  ASSERT_EQ(r.status, RequestStatus::kOk);
+  EXPECT_TRUE(r.fidelity.sampled);
+  EXPECT_FALSE(r.fidelity.diverged) << r.fidelity.detail;
+
+  // Replay directly (no fleet, no server) on the routed chip's exact
+  // configuration: routing must only have chosen *where* the request
+  // ran, never *what* it computed.
+  const ChipSpec* routed = nullptr;
+  for (const ChipSpec& chip : fleet.chips())
+    if (chip.name == r.chip) routed = &chip;
+  ASSERT_NE(routed, nullptr) << "unknown chip " << r.chip;
+
+  chain::AcceleratorConfig cfg = analytical_accelerator_config();
+  cfg.array = routed->array;
+  cfg.memory = routed->memory;
+  chain::ChainAccelerator acc(cfg);
+  const auto energy = energy::EnergyModel::paper_calibrated();
+  chain::NetworkRunner runner(acc, energy);
+  chain::NetworkRunOptions ro;
+  ro.verify_against_golden = false;
+  const chain::NetworkRunResult direct = runner.run(net, input, ro);
+
+  std::string why;
+  EXPECT_TRUE(network_runs_identical(r.run, direct, &why)) << why;
+
+  const FleetStats stats = fleet.stats();
+  EXPECT_EQ(stats.fidelity_samples, 1);
+  EXPECT_EQ(stats.fidelity_divergences, 0);
+}
+
+TEST(Fleet, PastDeadlineRequestRetiresItsBacklog) {
+  FleetOptions fo;
+  fo.threads_per_chip = 1;
+  Fleet fleet(fo);
+  const nn::NetworkModel net = tiny_net();
+
+  RequestOptions late;
+  late.deadline_ms = -1.0;
+  const InferenceResult r = fleet.submit(net, 1, late).get();
+  EXPECT_EQ(r.status, RequestStatus::kCancelled);
+  fleet.wait_idle();
+
+  const FleetStats stats = fleet.stats();
+  EXPECT_EQ(stats.cancelled, 1);
+  EXPECT_EQ(stats.completed, 0);
+  // The cancelled request's modelled seconds must not leak into the
+  // backlog, or the router would permanently under-load that chip.
+  for (const FleetChipStats& chip : stats.chips)
+    EXPECT_NEAR(chip.backlog_seconds, 0.0, 1e-12);
+}
+
+TEST(Fleet, RejectedSubmitLeavesRouterUntouched) {
+  FleetOptions fo;
+  fo.threads_per_chip = 1;
+  Fleet fleet(fo);
+  const nn::NetworkModel net = tiny_net();
+
+  RequestOptions bad;
+  bad.num_workers = 0;
+  EXPECT_THROW((void)fleet.submit(net, 1, bad), std::logic_error);
+
+  // The rejected request must not have been charged to any chip: a
+  // leaked dispatch would permanently skew placement away from the chip
+  // it landed on.
+  const FleetStats stats = fleet.stats();
+  EXPECT_EQ(stats.submitted, 0);
+  for (const FleetChipStats& chip : stats.chips) {
+    EXPECT_EQ(chip.routed, 0) << chip.name;
+    EXPECT_NEAR(chip.backlog_seconds, 0.0, 1e-12) << chip.name;
+    EXPECT_NEAR(chip.dispatched_seconds, 0.0, 1e-12) << chip.name;
+  }
+}
+
+TEST(Fleet, PlanRouteMatchesSubmitPlacement) {
+  FleetOptions fo;
+  Fleet fleet(fo);
+  const nn::NetworkModel net = tiny_net();
+
+  const RouteDecision planned = fleet.plan_route(net, /*batch=*/1);
+  const InferenceResult r = fleet.submit(net, 1, {}).get();
+  EXPECT_EQ(r.chip, planned.chip_name);
+  EXPECT_DOUBLE_EQ(r.modelled_seconds, planned.request_seconds);
+  fleet.wait_idle();
+}
+
+TEST(Fleet, HonorsPerRequestArrayOverride) {
+  Fleet fleet{FleetOptions{}};
+  RequestOptions ro;
+  dataflow::ArrayShape pinned;
+  pinned.num_pes = 144;
+  pinned.clock_hz = 350e6;
+  ro.array = pinned;
+  const InferenceResult r = fleet.submit(tiny_net(), 1, ro).get();
+  ASSERT_EQ(r.status, RequestStatus::kOk);
+  for (const auto& layer : r.run.layers) {
+    EXPECT_EQ(layer.run.plan.array.num_pes, 144);
+    EXPECT_EQ(layer.run.plan.array.clock_hz, 350e6);
+  }
+}
+
+}  // namespace
+}  // namespace chainnn::serve

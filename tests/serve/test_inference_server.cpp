@@ -4,7 +4,11 @@
 // must be caught and counted.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <future>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -215,6 +219,185 @@ TEST(InferenceServer, RequestErrorsResolveTheFuture) {
   EXPECT_ANY_THROW((void)future.get());
   server.wait_idle();
   EXPECT_EQ(server.stats().failed, 1);
+}
+
+TEST(InferenceServer, PastDeadlineAtSubmitResolvesCancelled) {
+  InferenceServer server{ServerOptions{}};
+  RequestOptions ro;
+  ro.deadline_ms = -5.0;  // already missed when submitted
+  const InferenceResult r = server.submit(tiny_net(), 1, ro).get();
+  EXPECT_EQ(r.status, RequestStatus::kCancelled);
+  EXPECT_EQ(r.completed_layers, 0);
+  EXPECT_TRUE(r.run.layers.empty());
+  EXPECT_FALSE(r.fidelity.sampled);
+  server.wait_idle();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.cancelled, 1);
+  EXPECT_EQ(stats.completed, 0);
+  EXPECT_EQ(stats.failed, 0);
+}
+
+TEST(InferenceServer, CancelTokenStopsBetweenLayers) {
+  ServerOptions so;
+  so.num_threads = 1;
+  so.fidelity_sample_every_n = 1;  // must NOT replay a cancelled run
+  InferenceServer server(so);
+
+  // The token is set while layer 0's weights are drawn, so the run
+  // passes layer 0's checkpoint, executes it, and stops at layer 1's.
+  auto token = std::make_shared<std::atomic<bool>>(false);
+  RequestOptions ro;
+  ro.cancel = token;
+  ro.weight_init = [token](std::int64_t layer_index,
+                           Tensor<std::int16_t>& kernels) {
+    if (layer_index == 0) token->store(true);
+    Rng rng(99);
+    kernels.fill_random(rng, -16, 16);
+  };
+  const InferenceResult r = server.submit(tiny_net(), 1, ro).get();
+  EXPECT_EQ(r.status, RequestStatus::kCancelled);
+  EXPECT_EQ(r.completed_layers, 1);
+  EXPECT_TRUE(r.run.layers.empty());  // partial work is not delivered
+  EXPECT_FALSE(r.fidelity.sampled);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.cancelled, 1);
+  EXPECT_EQ(stats.completed, 0);
+  EXPECT_EQ(stats.fidelity_samples, 0);
+}
+
+TEST(InferenceServer, HighPriorityOvertakesQueuedLowPriority) {
+  // Priority-inversion scenario: a long low-priority request is already
+  // running (it blocks inside weight_init until released), a second
+  // low-priority request is queued, then a high-priority one arrives.
+  // With one worker the high-priority request must overtake the queued
+  // low-priority one — completion order is observed via the hook.
+  std::vector<std::int64_t> completion_order;
+  std::mutex order_mu;
+  std::promise<void> blocker_started;
+  std::promise<void> release_blocker;
+  std::shared_future<void> release = release_blocker.get_future().share();
+
+  ServerOptions so;
+  so.num_threads = 1;
+  so.completion_hook = [&](const InferenceResult& r) {
+    std::lock_guard<std::mutex> lock(order_mu);
+    completion_order.push_back(r.request_id);
+  };
+  InferenceServer server(so);
+  const nn::NetworkModel net = tiny_net();
+
+  RequestOptions blocker;
+  blocker.weight_init = [&](std::int64_t layer_index,
+                            Tensor<std::int16_t>& kernels) {
+    if (layer_index == 0) {
+      blocker_started.set_value();
+      release.wait();
+    }
+    Rng rng(7);
+    kernels.fill_random(rng, -16, 16);
+  };
+  auto f1 = server.submit(net, 1, blocker);  // id 1, occupies the worker
+  blocker_started.get_future().wait();
+
+  RequestOptions low;   // id 2, tier 0
+  RequestOptions high;  // id 3, tier 5
+  high.priority = 5;
+  auto f2 = server.submit(net, 1, low);
+  auto f3 = server.submit(net, 1, high);
+  release_blocker.set_value();
+  (void)f1.get();
+  (void)f2.get();
+  (void)f3.get();
+  server.wait_idle();
+
+  ASSERT_EQ(completion_order.size(), 3u);
+  EXPECT_EQ(completion_order[0], 1);  // the blocker finishes first
+  EXPECT_EQ(completion_order[1], 3);  // high priority overtakes...
+  EXPECT_EQ(completion_order[2], 2);  // ...the earlier low-priority one
+}
+
+TEST(InferenceServer, EarliestDeadlineFirstWithinATier) {
+  std::vector<std::int64_t> completion_order;
+  std::mutex order_mu;
+  std::promise<void> blocker_started;
+  std::promise<void> release_blocker;
+  std::shared_future<void> release = release_blocker.get_future().share();
+
+  ServerOptions so;
+  so.num_threads = 1;
+  so.completion_hook = [&](const InferenceResult& r) {
+    std::lock_guard<std::mutex> lock(order_mu);
+    completion_order.push_back(r.request_id);
+  };
+  InferenceServer server(so);
+  const nn::NetworkModel net = tiny_net();
+
+  RequestOptions blocker;
+  blocker.weight_init = [&](std::int64_t layer_index,
+                            Tensor<std::int16_t>& kernels) {
+    if (layer_index == 0) {
+      blocker_started.set_value();
+      release.wait();
+    }
+    Rng rng(7);
+    kernels.fill_random(rng, -16, 16);
+  };
+  auto f1 = server.submit(net, 1, blocker);
+  blocker_started.get_future().wait();
+
+  // Same tier; the later-submitted request has the earlier deadline and
+  // a no-deadline request sorts after both.
+  RequestOptions none;                   // id 2
+  RequestOptions loose, tight;
+  loose.deadline_ms = 60e3;              // id 3
+  tight.deadline_ms = 30e3;              // id 4
+  auto f2 = server.submit(net, 1, none);
+  auto f3 = server.submit(net, 1, loose);
+  auto f4 = server.submit(net, 1, tight);
+  release_blocker.set_value();
+  (void)f1.get();
+  (void)f2.get();
+  (void)f3.get();
+  (void)f4.get();
+  server.wait_idle();
+
+  ASSERT_EQ(completion_order.size(), 4u);
+  EXPECT_EQ(completion_order[0], 1);
+  EXPECT_EQ(completion_order[1], 4);  // tightest deadline first
+  EXPECT_EQ(completion_order[2], 3);
+  EXPECT_EQ(completion_order[3], 2);  // no deadline goes last
+}
+
+TEST(InferenceServer, CompletedPastDeadlineCountsAsMiss) {
+  ServerOptions so;
+  so.num_threads = 1;
+  InferenceServer server(so);
+
+  // The deadline expires while the request is already executing (the
+  // checkpoint gate sits *between* layers, so a single-layer network
+  // always runs to completion): kOk, but flagged and counted as a miss.
+  nn::NetworkModel net = tiny_net();
+  net.conv_layers.resize(1);
+  RequestOptions ro;
+  ro.deadline_ms = 2000.0;  // generous: the pickup must beat it even on
+                            // a loaded sanitizer runner...
+  ro.weight_init = [&](std::int64_t, Tensor<std::int16_t>& kernels) {
+    // ...and the execution must overshoot it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(3100));
+    Rng rng(7);
+    kernels.fill_random(rng, -16, 16);
+  };
+  const InferenceResult r = server.submit(net, 1, ro).get();
+  EXPECT_EQ(r.status, RequestStatus::kOk);
+  EXPECT_TRUE(r.deadline_missed);
+  EXPECT_EQ(r.completed_layers, 1);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.deadline_misses, 1);
+  EXPECT_EQ(stats.cancelled, 0);
 }
 
 }  // namespace

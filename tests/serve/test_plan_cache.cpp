@@ -293,5 +293,102 @@ TEST(PlanCache, ConcurrentLookupsReturnIdenticalPlans) {
                               layers.size());
 }
 
+TEST(PlanCache, LruEvictionUnderByteBudget) {
+  const dataflow::ArrayShape array;
+  const mem::HierarchyConfig memory;
+
+  // Size the budget from a real plan so the test tracks footprint
+  // changes: room for roughly two entries.
+  const std::uint64_t one_plan =
+      plan_footprint_bytes(dataflow::plan_layer(base_layer(), array, memory));
+  PlanCache cache(PlanCacheOptions{.max_bytes = 2 * one_plan + one_plan / 2});
+
+  constexpr int kLayers = 6;
+  std::vector<nn::ConvLayerParams> layers;
+  for (int i = 0; i < kLayers; ++i) {
+    nn::ConvLayerParams p = base_layer();
+    p.in_width = 16 + 2 * i;  // distinct PlanKeys
+    p.validate();
+    layers.push_back(p);
+  }
+  for (const auto& layer : layers)
+    (void)cache.plan_for(layer, array, memory);
+
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, static_cast<std::uint64_t>(kLayers));
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LT(stats.entries, static_cast<std::uint64_t>(kLayers));
+  EXPECT_EQ(stats.entries + stats.evictions,
+            static_cast<std::uint64_t>(kLayers));
+  EXPECT_LE(stats.bytes, cache.options().max_bytes);
+
+  // An evicted key misses again but the recomputed plan is still
+  // field-for-field what a direct plan_layer call builds.
+  const dataflow::ExecutionPlan refetched =
+      cache.plan_for(layers.front(), array, memory);
+  expect_plan_identical(refetched,
+                        dataflow::plan_layer(layers.front(), array, memory));
+  EXPECT_EQ(cache.stats().misses, static_cast<std::uint64_t>(kLayers) + 1);
+}
+
+TEST(PlanCache, LruEvictsColdEntriesFirst) {
+  const dataflow::ArrayShape array;
+  const mem::HierarchyConfig memory;
+  const std::uint64_t one_plan =
+      plan_footprint_bytes(dataflow::plan_layer(base_layer(), array, memory));
+  PlanCache cache(PlanCacheOptions{.max_bytes = 2 * one_plan + one_plan / 2});
+
+  nn::ConvLayerParams a = base_layer();
+  nn::ConvLayerParams b = base_layer();
+  b.in_width = 18;
+  nn::ConvLayerParams c = base_layer();
+  c.in_width = 20;
+  for (const auto* p : {&a, &b}) (void)cache.plan_for(*p, array, memory);
+  // Touch `a` so `b` becomes the LRU victim when `c` arrives.
+  (void)cache.plan_for(a, array, memory);
+  (void)cache.plan_for(c, array, memory);
+
+  const std::uint64_t hits_before = cache.stats().hits;
+  (void)cache.plan_for(a, array, memory);  // still resident
+  EXPECT_EQ(cache.stats().hits, hits_before + 1);
+  (void)cache.plan_for(b, array, memory);  // evicted -> miss
+  EXPECT_EQ(cache.stats().hits, hits_before + 1);
+  EXPECT_EQ(cache.stats().misses, 4u);  // a, b, c, b-again
+}
+
+TEST(PlanCache, BudgetBelowOnePlanKeepsTheNewestEntry) {
+  const dataflow::ArrayShape array;
+  const mem::HierarchyConfig memory;
+  PlanCache cache(PlanCacheOptions{.max_bytes = 1});  // absurdly small
+
+  nn::ConvLayerParams a = base_layer();
+  nn::ConvLayerParams b = base_layer();
+  b.in_width = 18;
+  (void)cache.plan_for(a, array, memory);
+  (void)cache.plan_for(b, array, memory);
+  // The cache degrades to one (most recent) entry instead of emptying.
+  EXPECT_EQ(cache.stats().entries, 1u);
+  const std::uint64_t hits_before = cache.stats().hits;
+  (void)cache.plan_for(b, array, memory);
+  EXPECT_EQ(cache.stats().hits, hits_before + 1);
+}
+
+TEST(PlanCache, UnboundedByDefault) {
+  PlanCache cache;
+  EXPECT_EQ(cache.options().max_bytes, 0u);
+  const dataflow::ArrayShape array;
+  const mem::HierarchyConfig memory;
+  for (int i = 0; i < 8; ++i) {
+    nn::ConvLayerParams p = base_layer();
+    p.in_width = 16 + 2 * i;
+    p.validate();
+    (void)cache.plan_for(p, array, memory);
+  }
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 8u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
 }  // namespace
 }  // namespace chainnn::serve
