@@ -35,6 +35,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "chain/accelerator.hpp"
@@ -232,10 +233,59 @@ double time_requests(serve::InferenceServer& server,
   return secs == 0.0 ? 0.0 : static_cast<double>(count) / secs;
 }
 
+// Admission-control A/B: the same deadline-laden trace (a few normal
+// requests plus `doomed` requests whose microscopic deadlines no chip
+// can meet) replayed on two fresh fleets — admission off, then on.
+// Without admission every doomed request costs a missed deadline
+// (expired at pickup, or completed late); with admission each is
+// rejected at submit and costs nothing. Appends `"admission": {...}`
+// inside the fleet object and returns false unless admission strictly
+// reduced missed deadlines and rejected exactly the doomed requests.
+bool run_admission_phase(const nn::NetworkModel& net,
+                         std::int64_t threads_per_chip,
+                         std::ostringstream& json) {
+  constexpr std::int64_t kNormal = 9;
+  constexpr std::int64_t kDoomed = 3;
+  const auto run_side = [&](bool admission) {
+    serve::FleetOptions fo;
+    fo.threads_per_chip = threads_per_chip;
+    fo.preemption = true;
+    serve::Fleet fleet(fo);
+    std::vector<std::future<serve::InferenceResult>> futures;
+    for (std::int64_t i = 0; i < kNormal + kDoomed; ++i) {
+      serve::RequestOptions ro;
+      ro.priority = i % 2;
+      // Doomed requests get a positive-but-unmeetable deadline: the
+      // modelled chain seconds alone exceed 10 us, so admission-off can
+      // only expire them at pickup or finish them late — either way a
+      // missed deadline — while admission-on rejects them at submit.
+      ro.deadline_ms = (i % 4 == 3) ? 1e-2 : 600e3;
+      ro.admission = admission;
+      futures.push_back(fleet.submit(net, /*batch=*/1 + i % 2, ro));
+    }
+    for (auto& f : futures) (void)f.get();
+    fleet.wait_idle();
+    return fleet.stats();
+  };
+
+  const serve::FleetStats without = run_side(false);
+  const serve::FleetStats with = run_side(true);
+  json << ", \"admission\": {\"requests\": " << (kNormal + kDoomed)
+       << ", \"doomed\": " << kDoomed
+       << ", \"missed_without\": " << without.missed_deadlines()
+       << ", \"missed_with\": " << with.missed_deadlines()
+       << ", \"rejected\": " << with.rejected
+       << ", \"failed\": " << (without.failed + with.failed) << "}";
+  return without.failed == 0 && with.failed == 0 &&
+         with.rejected == kDoomed && without.rejected == 0 &&
+         with.missed_deadlines() < without.missed_deadlines();
+}
+
 // Drives a mixed request trace through a 3-chip heterogeneous Fleet and
 // appends `"fleet": {...}` to `json`. Returns false if a trace request
-// failed, a fidelity sample diverged, or the routed fleet does not beat
-// the best single chip in modelled throughput.
+// failed, a fidelity sample diverged, the routed fleet does not beat
+// the best single chip in modelled throughput, or the admission A/B did
+// not reduce missed deadlines.
 bool run_fleet_phase(const CliFlags& flags, std::ostringstream& json) {
   const std::int64_t requests =
       std::max<std::int64_t>(3, flags.get_int("fleet-requests"));
@@ -250,6 +300,7 @@ bool run_fleet_phase(const CliFlags& flags, std::ostringstream& json) {
   fo.threads_per_chip =
       std::max<std::int64_t>(1, flags.get_int("fleet-threads"));
   fo.fidelity_sample_every_n = flags.get_int("fleet-fidelity-every");
+  fo.preemption = true;
   serve::Fleet fleet(fo);
   const std::size_t num_chips = fleet.chips().size();
 
@@ -277,6 +328,26 @@ bool run_fleet_phase(const CliFlags& flags, std::ostringstream& json) {
   past_deadline.deadline_ms = -1.0;
   const serve::InferenceResult cancelled_probe =
       fleet.submit(net_a, 1, past_deadline).get();
+
+  // Preemption burst, outside the timed trace comparison: slow tier-0
+  // batch-8 requests seize every chip, and once they are mid-run a
+  // tier-2 chaser lands on each — the workers must checkpoint the
+  // running requests at their next layer boundary and serve the urgent
+  // tier first. Counts are reported, not gated (whether a burst victim
+  // is still mid-run when its chaser arrives is host timing), but
+  // resumes must always balance preemptions once the fleet drains.
+  {
+    std::vector<std::future<serve::InferenceResult>> burst;
+    serve::RequestOptions slow;  // tier 0, several layer boundaries
+    for (std::size_t c = 0; c < num_chips; ++c)
+      burst.push_back(fleet.submit(net_b, /*batch=*/8, slow));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    serve::RequestOptions chaser;
+    chaser.priority = 2;
+    for (std::size_t c = 0; c < num_chips; ++c)
+      burst.push_back(fleet.submit(net_b, /*batch=*/1, chaser));
+    for (auto& f : burst) (void)f.get();
+  }
   fleet.wait_idle();
   const serve::FleetStats stats = fleet.stats();
 
@@ -316,15 +387,22 @@ bool run_fleet_phase(const CliFlags& flags, std::ostringstream& json) {
                ? 0.0
                : static_cast<double>(report.completed) / report.wall_seconds)
        << ", \"deadline_misses\": " << stats.deadline_misses
+       << ", \"deadline_expired\": " << stats.deadline_expired
        << ", \"cancelled\": " << stats.cancelled
+       << ", \"preemptions\": " << stats.preemptions
+       << ", \"resumes\": " << stats.resumes
        << ", \"fidelity_samples\": " << stats.fidelity_samples
        << ", \"fidelity_divergences\": " << stats.fidelity_divergences
-       << ", \"failed\": " << stats.failed << "}";
+       << ", \"failed\": " << stats.failed;
+  const bool admission_ok =
+      run_admission_phase(net_a, fo.threads_per_chip, json);
+  json << "}";
 
   return stats.failed == 0 && stats.fidelity_divergences == 0 &&
          stats.cancelled == 1 &&
          cancelled_probe.status == serve::RequestStatus::kCancelled &&
-         report.modelled_speedup() > 1.0;
+         report.modelled_speedup() > 1.0 && stats.resumes == stats.preemptions &&
+         admission_ok;
 }
 
 int run_serve_bench(int argc, const char* const* argv) {

@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
   fo.threads_per_chip =
       std::max<std::int64_t>(1, flags.get_int("threads-per-chip"));
   fo.fidelity_sample_every_n = flags.get_int("fidelity-every");
+  fo.preemption = true;  // higher tiers evict running lower-tier work
   serve::Fleet fleet(fo);
 
   std::cout << "fleet:\n";
@@ -76,6 +77,15 @@ int main(int argc, char** argv) {
   }
 
   const serve::FleetTraceReport report = serve::run_fleet_trace(fleet, trace);
+
+  // Admission-control probe: a request whose microscopic deadline no
+  // chip's modelled finish time can meet must be refused at submit —
+  // kRejected, never executed, nothing charged to any backlog.
+  serve::RequestOptions infeasible;
+  infeasible.deadline_ms = 1e-3;
+  infeasible.admission = true;
+  const serve::InferenceResult rejected_probe =
+      fleet.submit(vgg, 1, infeasible).get();
   fleet.wait_idle();
   const serve::FleetStats stats = fleet.stats();
   const std::size_t num_chips = fleet.chips().size();
@@ -111,16 +121,22 @@ int main(int argc, char** argv) {
             << "x faster\n"
             << "completed " << stats.completed << "/" << requests
             << ", deadline misses " << stats.deadline_misses
-            << ", cancelled " << stats.cancelled << ", fidelity "
-            << stats.fidelity_samples << " sampled / "
+            << ", cancelled " << stats.cancelled << ", preemptions "
+            << stats.preemptions << " (" << stats.resumes
+            << " resumed), admission rejected " << stats.rejected
+            << ", fidelity " << stats.fidelity_samples << " sampled / "
             << stats.fidelity_divergences << " diverged, plan cache "
             << strings::fmt_fixed(100.0 * stats.plan_cache.hit_rate(), 1)
             << "% hits (" << stats.plan_cache.entries << " entries)\n";
 
   if (stats.failed != 0 || stats.fidelity_divergences != 0 ||
-      stats.completed != requests || speedup <= 1.0) {
+      stats.completed != requests || speedup <= 1.0 ||
+      rejected_probe.status != serve::RequestStatus::kRejected ||
+      stats.resumes != stats.preemptions) {
     std::cerr << "FLEET DEMO FAILED: fleet must complete every request, "
-                 "cross-check clean, and beat the best single chip\n";
+                 "cross-check clean, beat the best single chip, reject "
+                 "the infeasible-deadline probe, and resume every "
+                 "preempted request\n";
     return 2;
   }
   return 0;

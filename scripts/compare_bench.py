@@ -16,7 +16,14 @@ against the committed baseline and fails (exit 1) when:
   * the fleet section (when present in both files) stops beating the
     best single chip in modelled throughput, loses more than 25% of its
     modelled rps (closed forms — deterministic for a fixed trace), or
-    mis-counts the trace's one deliberately-cancelled request.
+    mis-counts the trace's one deliberately-cancelled request;
+  * the preemption counters disagree with themselves (resumes must never
+    exceed preemptions — every resume consumes a checkpoint);
+  * the admission A/B (same trace with admission control off, then on)
+    stops showing admission strictly reducing missed deadlines
+    (deadline_misses + deadline_expired), or stops rejecting exactly the
+    trace's deliberately-infeasible requests (deterministic: their
+    modelled chain seconds alone exceed the microscopic deadlines).
 
 Prints a markdown delta table to stdout and appends it to
 $GITHUB_STEP_SUMMARY when set. Stdlib only.
@@ -121,6 +128,33 @@ def main(argv):
                    fleet["cancelled"],
                    fleet["cancelled"] == fleet_base["cancelled"],
                    "== baseline (one past-deadline request in the trace)")
+        gate.check("fleet.resumes", fleet_base.get("resumes", 0),
+                   fleet.get("resumes", 0),
+                   fleet.get("resumes", 0) <= fleet.get("preemptions", 0),
+                   "<= preemptions (every resume consumes a checkpoint)")
+        adm = fleet.get("admission")
+        adm_base = fleet_base.get("admission")
+        if adm is not None and adm_base is not None:
+            gate.check(
+                "fleet.admission.missed_with",
+                adm_base["missed_with"],
+                adm["missed_with"],
+                adm["missed_with"] < adm["missed_without"],
+                "< missed_without (admission reduces missed deadlines)",
+            )
+            gate.check(
+                "fleet.admission.rejected",
+                adm_base["rejected"],
+                adm["rejected"],
+                adm["rejected"] == adm_base["rejected"],
+                "== baseline (the trace's infeasible-deadline requests)",
+            )
+            gate.check("fleet.admission.failed", 0, adm["failed"],
+                       adm["failed"] == 0, "== 0")
+        elif (adm is None) != (adm_base is None):
+            gate.check("fleet.admission section", adm_base is not None,
+                       adm is not None, False,
+                       "present in both current and baseline")
     elif (fleet is None) != (fleet_base is None):
         gate.check("fleet section", fleet_base is not None, fleet is not None,
                    False, "present in both current and baseline")

@@ -50,6 +50,26 @@ NetworkRunResult NetworkRunner::run(const nn::NetworkModel& net,
   NetworkRunResult result;
   Tensor<std::int16_t> act = input;
   Rng rng(0xC0FFEE);
+  std::size_t first_layer = 0;
+  if (options.resume) {
+    const RunCheckpoint& cp = *options.resume;
+    CHAINNN_CHECK_MSG(
+        cp.next_layer >= 0 &&
+            cp.next_layer <=
+                static_cast<std::int64_t>(net.conv_layers.size()),
+        "checkpoint resumes at layer " << cp.next_layer << " of a "
+                                       << net.conv_layers.size()
+                                       << "-layer network");
+    CHAINNN_CHECK_MSG(
+        cp.layers.size() == static_cast<std::size_t>(cp.next_layer),
+        "checkpoint carries " << cp.layers.size() << " layer result(s) but "
+                              << "resumes at layer " << cp.next_layer);
+    CHAINNN_CHECK(cp.activations.shape().rank() == 4);
+    first_layer = static_cast<std::size_t>(cp.next_layer);
+    result.layers = cp.layers;
+    act = cp.activations;
+    rng = cp.weight_rng;
+  }
 
   CHAINNN_CHECK_MSG(options.num_workers >= 1,
                     "num_workers must be >= 1, got " << options.num_workers);
@@ -69,9 +89,17 @@ NetworkRunResult NetworkRunner::run(const nn::NetworkModel& net,
     executor = std::make_unique<BatchExecutor>(effective_cfg, exec_cfg);
   }
 
-  for (std::size_t i = 0; i < net.conv_layers.size(); ++i) {
+  for (std::size_t i = first_layer; i < net.conv_layers.size(); ++i) {
     if (options.cancel_check && options.cancel_check())
       throw RunCancelled(static_cast<std::int64_t>(i));
+    if (options.preempt_check && options.preempt_check()) {
+      auto cp = std::make_shared<RunCheckpoint>();
+      cp->next_layer = static_cast<std::int64_t>(i);
+      cp->layers = std::move(result.layers);
+      cp->activations = std::move(act);
+      cp->weight_rng = rng;
+      throw RunPreempted(std::move(cp));
+    }
     nn::ConvLayerParams layer = net.conv_layers[i];
     layer.batch = act.shape().dim(0);
     layer.in_height = act.shape().dim(2);

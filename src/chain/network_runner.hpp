@@ -7,11 +7,13 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <vector>
 
 #include "chain/accelerator.hpp"
+#include "common/rng.hpp"
 #include "energy/energy_model.hpp"
 #include "nn/layers.hpp"
 #include "nn/models.hpp"
@@ -49,6 +51,50 @@ struct NetworkLayerResult {
   LayerRunResult run;
   energy::PowerBreakdown power;  // modelled during this layer
   bool verified = false;         // bit-exact vs golden (when enabled)
+};
+
+// Everything a network run holds at an inter-layer boundary: the fully
+// executed prefix (per-layer results carry their accumulated RunStats,
+// traffic and modelled power verbatim), the activations feeding the next
+// conv layer, and the state of the default weight stream. Layer
+// boundaries are the only capture points — a layer is never interrupted
+// mid-flight, so there is no half-written accelerator state to save —
+// which makes the guarantee cheap and absolute: resuming a checkpoint on
+// the same configuration reproduces the uninterrupted run bit for bit
+// (ofmaps, cycles, traffic); resuming on a different ArrayShape re-plans
+// the remaining layers and stays value-identical on ofmaps.
+struct RunCheckpoint {
+  // Index of the first conv layer not yet executed; layers[0..next_layer)
+  // are complete. May equal the network size only on a resumed
+  // checkpoint handed back in (a fresh capture always has work left).
+  std::int64_t next_layer = 0;
+  std::vector<NetworkLayerResult> layers;
+  // Input to layer `next_layer` (inter-layer ReLU/pool already applied).
+  Tensor<std::int16_t> activations;
+  // Default weight stream at the boundary. The default initializer draws
+  // all layers from one stateful stream, so a resume must continue it —
+  // not restart it — to draw the same kernels the uninterrupted run
+  // would. A caller-supplied weight_init is (layer, tensor)-pure and
+  // needs no state here.
+  Rng weight_rng;
+};
+
+// Thrown when NetworkRunOptions::preempt_check asks a run to yield at an
+// inter-layer checkpoint. Carries the checkpoint by shared_ptr (thrown
+// objects are copied; the captured tensors are not).
+class RunPreempted : public std::runtime_error {
+ public:
+  explicit RunPreempted(std::shared_ptr<RunCheckpoint> checkpoint)
+      : std::runtime_error("network run preempted after " +
+                           std::to_string(checkpoint->next_layer) +
+                           " layer(s)"),
+        checkpoint_(std::move(checkpoint)) {}
+  [[nodiscard]] const std::shared_ptr<RunCheckpoint>& checkpoint() const {
+    return checkpoint_;
+  }
+
+ private:
+  std::shared_ptr<RunCheckpoint> checkpoint_;
 };
 
 struct NetworkRunResult {
@@ -90,6 +136,22 @@ struct NetworkRunOptions {
   // starting the next layer. Layers are never interrupted mid-flight, so
   // a cancelled run leaves no half-written accelerator state behind.
   std::function<bool()> cancel_check;
+  // Cooperative preemption, polled at the same inter-layer boundary
+  // (after cancel_check — a dead request is cancelled, not checkpointed):
+  // when it returns true the run stops and throws RunPreempted carrying a
+  // RunCheckpoint of everything completed so far. The serving layer uses
+  // this to yield a chip to a higher-priority request without losing the
+  // completed layers.
+  std::function<bool()> preempt_check;
+  // Resume a previously captured checkpoint instead of starting at layer
+  // 0: the completed prefix is adopted verbatim (results, stats, traffic)
+  // and execution continues at checkpoint->next_layer from
+  // checkpoint->activations. `input` is ignored for the layers the
+  // checkpoint already covers. Resuming on the same accelerator
+  // configuration is bit-identical to an uninterrupted run; resuming on a
+  // different ArrayShape re-plans the remaining layers (value-identical
+  // ofmaps, different cycle accounting).
+  std::shared_ptr<const RunCheckpoint> resume;
 };
 
 class NetworkRunner {

@@ -253,6 +253,13 @@ std::size_t PlanKey::hash() const {
   return static_cast<std::size_t>(h);
 }
 
+bool RequestCycleEstimate::feasible_within(double clock_hz,
+                                           double backlog_seconds,
+                                           double deadline_seconds) const {
+  CHAINNN_CHECK_MSG(clock_hz > 0.0, "clock must be positive");
+  return backlog_seconds + seconds(clock_hz) <= deadline_seconds;
+}
+
 RequestCycleEstimate estimate_request_cycles(const ExecutionPlan& plan,
                                              std::int64_t batch) {
   return estimate_request_cycles(plan, plan.array, batch);

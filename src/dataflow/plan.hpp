@@ -198,6 +198,15 @@ struct RequestCycleEstimate {
   [[nodiscard]] double seconds(double clock_hz) const {
     return static_cast<double>(total()) / clock_hz;
   }
+  // Deadline-feasibility closed form (admission control): can this
+  // request, queued behind `backlog_seconds` of modelled work on a chip
+  // clocked at `clock_hz`, finish within `deadline_seconds` of now? The
+  // estimate is exact for the chain time (the analytical engine executes
+  // these very closed forms), so an infeasible verdict is a modelling
+  // fact, not a heuristic — only host-side overheads (queue pickup,
+  // worker scheduling) sit outside it.
+  [[nodiscard]] bool feasible_within(double clock_hz, double backlog_seconds,
+                                     double deadline_seconds) const;
 };
 [[nodiscard]] RequestCycleEstimate estimate_request_cycles(
     const ExecutionPlan& plan, std::int64_t batch);

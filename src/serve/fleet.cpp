@@ -40,16 +40,52 @@ Fleet::Fleet(FleetOptions options)
     so.max_queue = opts_.max_queue_per_chip;
     so.fidelity_sample_every_n = opts_.fidelity_sample_every_n;
     so.plan_cache = cache_;
+    so.enable_preemption = opts_.preemption;
     // Request ids are per-server, so decorrelate the generated-input
     // streams per chip (SplitMix64 expands the seed; a golden-ratio
     // stride keeps chip streams disjoint for any realistic id range).
     so.input_seed =
         opts_.input_seed + 0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(c + 1);
+    // Resume-aware backlog accounting: a preemption retires the modelled
+    // seconds of the layers already completed, and the completion hook
+    // retires only the remainder — together exactly modelled_seconds,
+    // never more, so a request that is preempted and then cancelled is
+    // not double-retracted (the clamp guards float dust, not logic).
+    so.preemption_hook = [router, c](std::int64_t, double retired_seconds) {
+      router->complete(c, retired_seconds);
+    };
     so.completion_hook = [router, c](const InferenceResult& r) {
-      router->complete(c, r.modelled_seconds);
+      router->complete(c, std::max(0.0, r.modelled_seconds -
+                                            r.modelled_seconds_retired));
     };
     servers_.push_back(std::make_unique<InferenceServer>(std::move(so)));
   }
+}
+
+namespace {
+// The deadline an admission-controlled request must be feasible within,
+// in seconds; nullopt disables admission for this submit.
+std::optional<double> admission_deadline_s(const RequestOptions& options) {
+  if (!options.admission || !options.deadline_ms) return std::nullopt;
+  return *options.deadline_ms / 1e3;
+}
+}  // namespace
+
+std::optional<std::future<InferenceResult>> Fleet::try_reject(
+    const RouteDecision& decision) {
+  if (decision.admitted) return std::nullopt;
+  // Infeasible on every chip: resolve the future right here with
+  // kRejected. The router charged nothing, no server ever sees the
+  // request, and the trace rollups skip it like any non-kOk entry.
+  ++rejected_;
+  InferenceResult r;
+  r.status = RequestStatus::kRejected;
+  r.chip = decision.chip_name;  // best (still infeasible) chip, for info
+  r.modelled_seconds = decision.request_seconds;
+  std::promise<InferenceResult> promise;
+  std::future<InferenceResult> future = promise.get_future();
+  promise.set_value(std::move(r));
+  return future;
 }
 
 std::future<InferenceResult> Fleet::submit(nn::NetworkModel net,
@@ -65,7 +101,9 @@ std::future<InferenceResult> Fleet::submit(nn::NetworkModel net,
                     "num_workers must be >= 1, got " << options.num_workers);
   const RouteDecision decision = router_->route_and_dispatch(
       net, input.shape().dim(0), input.shape().dim(2), input.shape().dim(3),
-      options.inter_layer, options.array);
+      options.inter_layer, options.array, admission_deadline_s(options));
+  if (auto rejected = try_reject(decision))
+    return std::move(*rejected);
   options.modelled_seconds = decision.request_seconds;
   try {
     return servers_[decision.chip]->submit(std::move(net), std::move(input),
@@ -87,7 +125,9 @@ std::future<InferenceResult> Fleet::submit(const nn::NetworkModel& net,
   const nn::ConvLayerParams& first = net.conv_layers.front();
   const RouteDecision decision = router_->route_and_dispatch(
       net, batch, first.in_height, first.in_width, options.inter_layer,
-      options.array);
+      options.array, admission_deadline_s(options));
+  if (auto rejected = try_reject(decision))
+    return std::move(*rejected);
   options.modelled_seconds = decision.request_seconds;
   try {
     return servers_[decision.chip]->submit(net, batch, std::move(options));
@@ -200,10 +240,14 @@ FleetStats Fleet::stats() const {
     out.failed += chip.server.failed;
     out.cancelled += chip.server.cancelled;
     out.deadline_misses += chip.server.deadline_misses;
+    out.deadline_expired += chip.server.deadline_expired;
+    out.preemptions += chip.server.preemptions;
+    out.resumes += chip.server.resumes;
     out.fidelity_samples += chip.server.fidelity_samples;
     out.fidelity_divergences += chip.server.fidelity_divergences;
     out.chips.push_back(std::move(chip));
   }
+  out.rejected = rejected_.load();
   out.plan_cache = cache_->stats();
   return out;
 }

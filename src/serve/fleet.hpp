@@ -21,9 +21,11 @@
 // deadline-miss / cancellation accounting next to the routing counters.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,6 +45,14 @@ struct FleetOptions {
   std::int64_t max_queue_per_chip = 64;
   // Forwarded to every chip server (each samples its own Nth request).
   std::int64_t fidelity_sample_every_n = 0;
+  // Preemptive scheduling on every chip server (see
+  // ServerOptions::enable_preemption): a strictly-higher-priority
+  // arrival checkpoints the running lower-tier request at its next layer
+  // boundary. The fleet wires the per-chip preemption hooks so a
+  // preempted request's completed layers are retired from the chip's
+  // modelled backlog immediately ("resume-aware backlog accounting") and
+  // the completion hook retires only the remainder.
+  bool preemption = false;
   // Fleet-wide plan cache; nullptr creates a fleet-owned one.
   std::shared_ptr<PlanCache> plan_cache;
   // Base seed for generated inputs; each chip decorrelates it so two
@@ -66,9 +76,25 @@ struct FleetStats {
   std::int64_t failed = 0;
   std::int64_t cancelled = 0;
   std::int64_t deadline_misses = 0;
+  std::int64_t deadline_expired = 0;  // cancelled because the deadline passed
+  std::int64_t preemptions = 0;
+  std::int64_t resumes = 0;
   std::int64_t fidelity_samples = 0;
   std::int64_t fidelity_divergences = 0;
+  // Requests refused by admission control at submit (RequestOptions::
+  // admission + deadline infeasible on every chip). Fleet-level: a
+  // rejected request never reaches a chip server, so it appears in no
+  // per-chip counter.
+  std::int64_t rejected = 0;
   PlanCacheStats plan_cache;
+
+  // Deadlines not served in time, both ways a deadline can be lost:
+  // completed-but-late plus cancelled-because-expired. The figure the
+  // admission-control benchmark gate compares (admission on must never
+  // increase it).
+  [[nodiscard]] std::int64_t missed_deadlines() const {
+    return deadline_misses + deadline_expired;
+  }
 
   // Modelled makespan of everything dispatched so far: the busiest
   // chip's modelled busy time (chips run in parallel). The figure a
@@ -87,7 +113,10 @@ class Fleet {
   // Routes the request to the chip with the earliest modelled finish
   // time and enqueues it there (blocking on that chip's backpressure).
   // The resolved InferenceResult carries the chip's name and the
-  // modelled seconds the router charged.
+  // modelled seconds the router charged. With RequestOptions::admission
+  // and a deadline_ms, a request infeasible on every chip is refused
+  // instead: the future resolves immediately with
+  // RequestStatus::kRejected (request never executes, nothing charged).
   [[nodiscard]] std::future<InferenceResult> submit(
       nn::NetworkModel net, Tensor<std::int16_t> input,
       RequestOptions options = {});
@@ -117,11 +146,17 @@ class Fleet {
   }
 
  private:
+  // Shared admission/rejection bookkeeping for both submit overloads.
+  [[nodiscard]] std::optional<std::future<InferenceResult>> try_reject(
+      const RouteDecision& decision);
+
   FleetOptions opts_;
   std::shared_ptr<PlanCache> cache_;
+  std::atomic<std::int64_t> rejected_{0};
   // Destruction order matters: the chip servers' worker threads call the
-  // router from their completion hooks, so router_ must outlive
-  // servers_ (members are destroyed in reverse declaration order).
+  // router from their completion and preemption hooks, so router_ must
+  // outlive servers_ (members are destroyed in reverse declaration
+  // order).
   std::unique_ptr<Router> router_;
   std::vector<std::unique_ptr<InferenceServer>> servers_;
 };

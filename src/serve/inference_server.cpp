@@ -67,6 +67,17 @@ struct InferenceServer::Task {
   std::optional<Clock::time_point> deadline;
   Clock::time_point enqueued;
   std::promise<InferenceResult> promise;
+  // Set while the request sits in the queue preempted: the next pickup
+  // resumes from here instead of starting over.
+  std::shared_ptr<chain::RunCheckpoint> checkpoint;
+  // Modelled seconds already credited through preemption_hook for the
+  // checkpointed layers; caps further credit and is echoed on the result
+  // so completion hooks retire only the remainder.
+  double modelled_retired = 0.0;
+  std::int64_t preempt_count = 0;
+  // Execution wall milliseconds of earlier, preempted attempts: the
+  // final result's wall_ms covers every attempt, not just the last.
+  double wall_ms_accum = 0.0;
 
   // Heap order (std::push_heap keeps the max on top, so "less" means
   // "scheduled later"): lower priority tier first loses; within a tier
@@ -94,6 +105,12 @@ struct InferenceServer::State {
 
   std::int64_t next_id = 0;
   std::int64_t in_flight = 0;
+  // Workers that have committed to yield (preempt_check returned true)
+  // but have not yet re-enqueued their checkpointed task. Caps
+  // simultaneous yields at the number of waiting higher-tier tasks, so
+  // one urgent arrival cannot stampede every busy worker into a
+  // checkpoint it will immediately resume.
+  std::int64_t yielding = 0;
   ServerStats stats;  // plan_cache filled on read
 };
 
@@ -212,7 +229,9 @@ ServerStats InferenceServer::stats() const {
 
 chain::NetworkRunResult InferenceServer::run_network(
     const chain::AcceleratorConfig& cfg, const Task& task,
-    const std::function<bool()>& cancel_check) {
+    const std::function<bool()>& cancel_check,
+    const std::function<bool()>& preempt_check,
+    std::shared_ptr<const chain::RunCheckpoint> resume) {
   chain::ChainAccelerator acc(cfg, cache_);
   chain::NetworkRunner runner(acc, opts_.energy);
   chain::NetworkRunOptions ro;
@@ -222,14 +241,21 @@ chain::NetworkRunResult InferenceServer::run_network(
   ro.num_workers = task.options.num_workers;
   ro.plan_cache = cache_;
   ro.cancel_check = cancel_check;
+  ro.preempt_check = preempt_check;
+  ro.resume = std::move(resume);
   return runner.run(task.net, task.input, ro);
 }
 
-InferenceResult InferenceServer::execute_request(Task& task) {
+std::optional<InferenceResult> InferenceServer::execute_request(Task& task) {
   InferenceResult out;
   out.request_id = task.id;
   out.chip = opts_.name;
   out.modelled_seconds = task.options.modelled_seconds;
+  out.resumed = task.checkpoint != nullptr;
+  // The layers a previous attempt already banked; credit for this
+  // attempt's preemption counts only layers beyond them.
+  const std::size_t banked =
+      task.checkpoint ? task.checkpoint->layers.size() : 0;
 
   chain::AcceleratorConfig cfg = opts_.accelerator;
   if (task.options.array) cfg.array = *task.options.array;
@@ -247,20 +273,89 @@ InferenceResult InferenceServer::execute_request(Task& task) {
       if (token && token->load(std::memory_order_relaxed)) return true;
       return deadline && Clock::now() > *deadline;
     };
+  // Preemption: yield at the next layer boundary when a strictly-higher
+  // tier is waiting. The queue is a max-heap, so its front is the next
+  // request a free worker would take — but yields are capped at the
+  // number of waiting higher-tier tasks: with several workers mid-run
+  // on low tiers, a single urgent arrival must evict one of them, not
+  // stampede all of them into checkpoints they would immediately
+  // resume. A worker whose check returns true is committed (the run
+  // throws RunPreempted unconditionally) and stays counted in
+  // `yielding` until its checkpoint is re-enqueued.
+  std::function<bool()> preempt_check;
+  if (opts_.enable_preemption)
+    preempt_check = [this, pri = task.options.priority] {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      // Fast path: the heap front is the highest-priority waiter, so a
+      // front at or below this tier means nothing could preempt.
+      if (state_->queue.empty() ||
+          state_->queue.front().options.priority <= pri)
+        return false;
+      // Count only *live* higher-tier waiters: a queued request whose
+      // cancel token is already set or whose deadline has already passed
+      // resolves at pickup without touching the chip, so checkpointing a
+      // healthy run to make room for it would be pure wasted work.
+      const auto now = Clock::now();
+      std::int64_t higher = 0;
+      for (const Task& queued : state_->queue) {
+        if (queued.options.priority <= pri) continue;
+        if (queued.options.cancel &&
+            queued.options.cancel->load(std::memory_order_relaxed))
+          continue;
+        if (queued.deadline && now > *queued.deadline) continue;
+        ++higher;
+      }
+      if (higher <= state_->yielding) return false;
+      ++state_->yielding;
+      return true;
+    };
 
   const auto t0 = Clock::now();
   out.queue_ms = ms_between(task.enqueued, t0);
   try {
-    out.run = run_network(cfg, task, cancel_check);
+    out.run = run_network(cfg, task, cancel_check, preempt_check,
+                          task.checkpoint);
     out.completed_layers =
         static_cast<std::int64_t>(out.run.layers.size());
   } catch (const chain::RunCancelled& cancelled) {
     out.status = RequestStatus::kCancelled;
     out.completed_layers = cancelled.completed_layers();
+    out.deadline_expired = deadline && Clock::now() > *deadline;
     out.run = chain::NetworkRunResult{};
+  } catch (const chain::RunPreempted& preempted) {
+    // The yield committed by preempt_check is complete: release the
+    // slot here — before the user-supplied hook below runs — so a
+    // throwing preemption_hook cannot leak the counter and silently
+    // disable preemption for the rest of the server's life.
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      --state_->yielding;
+    }
+    // This attempt's execution time must survive the re-enqueue, or the
+    // final result's wall_ms would only cover the last attempt.
+    task.wall_ms_accum += ms_between(t0, Clock::now());
+    // Bank the checkpoint on the task and retire the modelled seconds of
+    // the layers this attempt newly completed — capped so cumulative
+    // credit never exceeds what the router charged at dispatch (a later
+    // completion or cancellation retires exactly the remainder, so the
+    // request is never double-retracted).
+    const std::shared_ptr<chain::RunCheckpoint>& cp = preempted.checkpoint();
+    double newly = 0.0;
+    for (std::size_t i = banked; i < cp->layers.size(); ++i)
+      newly += cp->layers[i].run.seconds();
+    const double headroom = std::max(
+        0.0, task.options.modelled_seconds - task.modelled_retired);
+    const double retired = std::min(newly, headroom);
+    task.modelled_retired += retired;
+    task.checkpoint = cp;
+    ++task.preempt_count;
+    if (opts_.preemption_hook) opts_.preemption_hook(task.id, retired);
+    return std::nullopt;
   }
+  out.preemptions = task.preempt_count;
+  out.modelled_seconds_retired = task.modelled_retired;
   const auto t1 = Clock::now();
-  out.wall_ms = ms_between(t0, t1);
+  out.wall_ms = task.wall_ms_accum + ms_between(t0, t1);
   if (out.status == RequestStatus::kOk && deadline && t1 > *deadline)
     out.deadline_missed = true;
 
@@ -304,34 +399,73 @@ void InferenceServer::worker_loop() {
     state_->space_ready.notify_one();
 
     // A request already past its deadline (or cancelled) when it reaches
-    // the front — including a deadline in the past at submit — resolves
-    // kCancelled without touching the execution stack.
+    // the front — including a deadline in the past at submit, and a
+    // checkpointed request cancelled before its resume — resolves
+    // kCancelled without touching the execution stack (the checkpointed
+    // layers still count as completed work on the result).
     const bool dead_on_arrival =
         (task.options.cancel &&
          task.options.cancel->load(std::memory_order_relaxed)) ||
         (task.deadline && Clock::now() > *task.deadline);
+    const bool is_resume = !dead_on_arrival && task.checkpoint != nullptr;
 
     InferenceResult result;
     std::exception_ptr error;
+    bool preempted = false;
     if (dead_on_arrival) {
       result.request_id = task.id;
       result.chip = opts_.name;
       result.modelled_seconds = task.options.modelled_seconds;
+      result.modelled_seconds_retired = task.modelled_retired;
+      result.preemptions = task.preempt_count;
+      result.completed_layers =
+          task.checkpoint
+              ? static_cast<std::int64_t>(task.checkpoint->layers.size())
+              : 0;
       result.status = RequestStatus::kCancelled;
+      result.deadline_expired =
+          task.deadline && Clock::now() > *task.deadline;
       result.queue_ms = ms_between(task.enqueued, Clock::now());
     } else {
       try {
-        result = execute_request(task);
+        std::optional<InferenceResult> maybe = execute_request(task);
+        if (maybe) {
+          result = std::move(*maybe);
+        } else {
+          preempted = true;
+        }
       } catch (...) {
         error = std::current_exception();
       }
     }
 
     lock.lock();
+    if (is_resume) ++state_->stats.resumes;
+    if (preempted) {
+      // Give the checkpointed request its queue slot back (bypassing
+      // backpressure — a worker cannot block on its own submit gate) and
+      // wake a worker for it: by now another worker may already have
+      // taken the urgent request this preemption yielded to.
+      ++state_->stats.preemptions;
+      // Restart the queue clock: queue_ms on the final attempt measures
+      // the wait since this re-enqueue, not the request's own earlier
+      // execution time (which wall_ms_accum already carries).
+      task.enqueued = Clock::now();
+      state_->queue.push_back(std::move(task));
+      std::push_heap(state_->queue.begin(), state_->queue.end(),
+                     Task::scheduled_after);
+      state_->stats.peak_queue_depth =
+          std::max(state_->stats.peak_queue_depth,
+                   static_cast<std::int64_t>(state_->queue.size()));
+      --state_->in_flight;
+      state_->work_ready.notify_one();
+      continue;
+    }
     if (error) {
       ++state_->stats.failed;
     } else if (result.status == RequestStatus::kCancelled) {
       ++state_->stats.cancelled;
+      if (result.deadline_expired) ++state_->stats.deadline_expired;
     } else {
       ++state_->stats.completed;
       if (result.exec_mode == chain::ExecMode::kAnalytical)
@@ -358,6 +492,7 @@ void InferenceServer::worker_loop() {
         failed.request_id = task.id;
         failed.chip = opts_.name;
         failed.modelled_seconds = task.options.modelled_seconds;
+        failed.modelled_seconds_retired = task.modelled_retired;
         failed.status = RequestStatus::kFailed;
         opts_.completion_hook(failed);
       } else {

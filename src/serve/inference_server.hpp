@@ -14,6 +14,10 @@
 // order is earliest-deadline-first (requests without a deadline sort
 // last), and ties fall back to submission order, so a server driven
 // without priorities or deadlines behaves exactly like the old FIFO.
+// With ServerOptions::enable_preemption, higher tiers do not just
+// overtake the queue — they evict the chip: a running lower-tier request
+// is checkpointed at its next layer boundary (chain::RunCheckpoint),
+// re-enqueued, and resumed later with a bit-identical final result.
 //
 // Deadlines and cancellation: RequestOptions::deadline_ms is a wall
 // budget from submission. A request whose deadline has already passed
@@ -65,13 +69,15 @@ namespace chainnn::serve {
                                           const chain::NetworkRunResult& b,
                                           std::string* why = nullptr);
 
-// Terminal state of a request. Futures only ever resolve with kOk or
-// kCancelled (errors resolve the future with the exception instead);
-// kFailed appears solely on the InferenceResult handed to
+// Terminal state of a request. Futures only ever resolve with kOk,
+// kCancelled or kRejected (errors resolve the future with the exception
+// instead); kFailed appears solely on the InferenceResult handed to
 // ServerOptions::completion_hook for a request that threw.
 enum class RequestStatus {
   kOk,         // ran to completion
   kCancelled,  // deadline passed or cancel token set before/mid-run
+  kRejected,   // admission control refused it at submit (Fleet only);
+               // the request never reached a server queue or executed
   kFailed,     // request threw (hook-only; the promise carries the error)
 };
 
@@ -94,6 +100,16 @@ struct RequestOptions {
   // External cancellation: set to true at any time to abort the request
   // at its next inter-layer checkpoint (or before it starts).
   std::shared_ptr<std::atomic<bool>> cancel;
+  // Deadline-feasibility admission control (opt-in, honoured by
+  // Fleet::submit; a standalone InferenceServer ignores it — it has no
+  // router to size the request against). With admission set and a
+  // deadline_ms given, a request whose modelled finish time
+  // (backlog + closed-form chain seconds, see
+  // dataflow::RequestCycleEstimate::feasible_within) exceeds the
+  // deadline on *every* chip is refused at submit: its future resolves
+  // immediately with RequestStatus::kRejected, nothing is charged to any
+  // backlog, and the request never executes.
+  bool admission = false;
   // Modelled execution seconds, stamped by the Fleet router when it
   // dispatches the request; echoed back on InferenceResult so completion
   // hooks can retire the backlog they admitted. Informational here.
@@ -117,13 +133,31 @@ struct InferenceResult {
   chain::NetworkRunResult run;  // empty when status == kCancelled
   FidelityReport fidelity;
   // Conv layers fully executed before a mid-run cancellation stopped the
-  // request (equals the network size for kOk results).
+  // request (equals the network size for kOk results; includes layers
+  // preserved in a checkpoint for a request cancelled while preempted).
   std::int64_t completed_layers = 0;
   bool deadline_missed = false;  // completed, but after its deadline
+  // kCancelled because the deadline passed (as opposed to the cancel
+  // token); counted separately in ServerStats::deadline_expired.
+  bool deadline_expired = false;
+  // Times this request was checkpointed at a layer boundary to yield the
+  // worker to a strictly-higher-priority request.
+  std::int64_t preemptions = 0;
+  // The terminal execution attempt resumed from a checkpoint.
+  bool resumed = false;
   std::string chip;              // ServerOptions::name of the executing chip
   double modelled_seconds = 0.0;  // echoed from RequestOptions
-  double queue_ms = 0.0;          // submit -> execution start
-  double wall_ms = 0.0;  // execution wall time (excludes queueing)
+  // Modelled seconds already retired through ServerOptions::
+  // preemption_hook for layers completed before a preemption: a
+  // completion hook retiring backlog must charge only
+  // modelled_seconds - modelled_seconds_retired, or a preempted request
+  // gets double-retracted (see serve::Fleet).
+  double modelled_seconds_retired = 0.0;
+  // Wait before the terminal attempt started: submit -> execution start,
+  // or for a preempted request (re-)enqueue -> resume start.
+  double queue_ms = 0.0;
+  // Execution wall time across every attempt (excludes queueing).
+  double wall_ms = 0.0;
 };
 
 struct ServerStats {
@@ -132,6 +166,18 @@ struct ServerStats {
   std::int64_t failed = 0;  // request threw (promise carries the error)
   std::int64_t cancelled = 0;        // kCancelled resolutions
   std::int64_t deadline_misses = 0;  // completed after their deadline
+  // Subset of `cancelled` whose cancellation was deadline-caused (the
+  // "missed deadline" figure alongside deadline_misses: one counts runs
+  // that finished late, the other runs that never finished in time).
+  std::int64_t deadline_expired = 0;
+  // Times a running request was checkpointed at a layer boundary to
+  // yield to a strictly-higher-priority request, and times a checkpointed
+  // request was picked back up. resumes <= preemptions always; they are
+  // equal once every preempted request has resumed and completed (a
+  // request cancelled while checkpointed is a preemption that never
+  // resumes).
+  std::int64_t preemptions = 0;
+  std::int64_t resumes = 0;
   std::int64_t analytical_runs = 0;
   std::int64_t cycle_accurate_runs = 0;
   std::int64_t fidelity_samples = 0;
@@ -163,6 +209,26 @@ struct ServerOptions {
   std::int64_t fidelity_sample_every_n = 0;
   // Shared plan cache; nullptr creates a server-owned one.
   std::shared_ptr<PlanCache> plan_cache;
+  // Preemptive scheduling: when a strictly-higher-priority request is
+  // queued while a lower-tier request runs, the worker checkpoints the
+  // running request at its next inter-layer boundary (RunCheckpoint),
+  // re-enqueues it — original id, priority and deadline, so it keeps its
+  // place among tier peers — and picks up the urgent request. The
+  // re-enqueued request later resumes from the checkpoint; a resumed
+  // run's result is bit-identical to an uninterrupted one (ofmaps,
+  // cycles, traffic — pinned by tests/serve/test_sched_properties.cpp).
+  // Off by default: a non-preemptive server schedules exactly as before.
+  // Re-enqueueing a checkpoint may transiently exceed max_queue (a
+  // worker cannot block on its own backpressure).
+  bool enable_preemption = false;
+  // Called (outside the server lock) when a running request is
+  // checkpointed, with the modelled chain seconds of the layers this
+  // attempt newly completed — capped so the cumulative credit never
+  // exceeds RequestOptions::modelled_seconds. The Fleet uses it to give
+  // a preempted request credit for completed layers in the chip's
+  // modelled backlog ("resume-aware backlog accounting").
+  std::function<void(std::int64_t request_id, double retired_seconds)>
+      preemption_hook;
   // Seed for inputs generated by the submit(net, batch, ...) overload.
   std::uint64_t input_seed = 7;
   // Called once per request, outside the server lock, immediately
@@ -220,10 +286,15 @@ class InferenceServer {
   [[nodiscard]] std::int64_t allocate_id();
   // Blocks while the queue is full, then queues the task.
   [[nodiscard]] std::future<InferenceResult> enqueue(Task&& task);
-  [[nodiscard]] InferenceResult execute_request(Task& task);
+  // Runs the task (resuming its checkpoint when it carries one). Returns
+  // nullopt when the run was preempted: the task now carries an updated
+  // checkpoint and must be re-enqueued by the caller.
+  [[nodiscard]] std::optional<InferenceResult> execute_request(Task& task);
   [[nodiscard]] chain::NetworkRunResult run_network(
       const chain::AcceleratorConfig& cfg, const Task& task,
-      const std::function<bool()>& cancel_check);
+      const std::function<bool()>& cancel_check,
+      const std::function<bool()>& preempt_check = {},
+      std::shared_ptr<const chain::RunCheckpoint> resume = nullptr);
   void worker_loop();
 
   ServerOptions opts_;

@@ -173,11 +173,24 @@ RouteDecision Router::route_and_dispatch(
     const nn::NetworkModel& net, std::int64_t batch, std::int64_t in_height,
     std::int64_t in_width,
     const std::vector<chain::InterLayerOp>& inter_layer,
-    const std::optional<dataflow::ArrayShape>& array_override) {
+    const std::optional<dataflow::ArrayShape>& array_override,
+    const std::optional<double>& admission_deadline_s) {
   const Estimates est = estimate_all(net, batch, in_height, in_width,
                                      inter_layer, array_override);
   std::lock_guard<std::mutex> lock(mu_);
-  const RouteDecision decision = pick_locked(est);
+  RouteDecision decision = pick_locked(est);
+  if (admission_deadline_s) {
+    const dataflow::ArrayShape& array =
+        array_override ? *array_override : chips_[decision.chip].array;
+    if (!est.cycles[decision.chip].feasible_within(
+            array.clock_hz, decision.backlog_seconds,
+            *admission_deadline_s)) {
+      // Earliest finish already misses the deadline => so does every
+      // chip. Reject without charging anything.
+      decision.admitted = false;
+      return decision;
+    }
+  }
   backlog_[decision.chip] += decision.request_seconds;
   dispatched_[decision.chip] += decision.request_seconds;
   ++routed_[decision.chip];

@@ -66,6 +66,11 @@ struct RouteDecision {
     return backlog_seconds + request_seconds;
   }
   std::int64_t request_cycles = 0;  // at the chosen chip's clock
+  // Admission verdict: false when an admission deadline was given and
+  // even the earliest-finish chip cannot make it (the fields above then
+  // describe that infeasible-but-best chip; nothing was charged to any
+  // backlog). Always true when no admission deadline was asked for.
+  bool admitted = true;
 };
 
 class Router {
@@ -101,11 +106,21 @@ class Router {
   // requests cannot both pick the same chip off a stale snapshot (the
   // cycle estimation itself still runs outside the lock). This is what
   // Fleet::submit uses.
+  //
+  // `admission_deadline_s`, when set, turns the call into admission
+  // control: the earliest-finish chip is still chosen, but if even its
+  // modelled finish (backlog + closed-form request seconds, see
+  // dataflow::RequestCycleEstimate::feasible_within) exceeds the
+  // deadline — and earliest-finish minimizes that figure, so every other
+  // chip is worse — the decision comes back with admitted == false and
+  // NOTHING is dispatched: no backlog charge, no routed count, nothing
+  // to retract.
   [[nodiscard]] RouteDecision route_and_dispatch(
       const nn::NetworkModel& net, std::int64_t batch,
       std::int64_t in_height, std::int64_t in_width,
       const std::vector<chain::InterLayerOp>& inter_layer,
-      const std::optional<dataflow::ArrayShape>& array_override = {});
+      const std::optional<dataflow::ArrayShape>& array_override = {},
+      const std::optional<double>& admission_deadline_s = {});
 
   // Commits a decision: charges its modelled seconds to the chip's
   // backlog and counts the dispatch.

@@ -5,6 +5,7 @@
 // both engines on every request.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <future>
 #include <memory>
 #include <vector>
@@ -189,6 +190,153 @@ TEST(Fleet, PlanRouteMatchesSubmitPlacement) {
   EXPECT_EQ(r.chip, planned.chip_name);
   EXPECT_DOUBLE_EQ(r.modelled_seconds, planned.request_seconds);
   fleet.wait_idle();
+}
+
+TEST(Fleet, PreemptedThenCancelledIsNotDoubleRetracted) {
+  // Regression for the preemption path of the backlog accounting: a
+  // preemption retires the completed layers' modelled seconds
+  // immediately, and the terminal hook retires only the remainder. A
+  // request that is preempted and then cancelled before its resume must
+  // retire exactly its modelled seconds once — retiring them twice would
+  // (via the clamp in Router::complete) eat a *different* request's
+  // backlog and permanently skew placement.
+  ChipSpec only;
+  only.name = "solo";
+  FleetOptions fo;
+  fo.chips = {only};  // single chip: placement is forced, timing is not
+  fo.threads_per_chip = 1;
+  fo.preemption = true;
+  Fleet fleet(fo);
+  const nn::NetworkModel net = tiny_net();
+  const double modelled = fleet.plan_route(net, 1).request_seconds;
+  ASSERT_GT(modelled, 0.0);
+
+  std::promise<void> a_started, b_started;
+  std::promise<void> release_a, release_b;
+  std::shared_future<void> a_gate = release_a.get_future().share();
+  std::shared_future<void> b_gate = release_b.get_future().share();
+  std::atomic<bool> a_gated{false}, b_gated{false};
+  auto token_a = std::make_shared<std::atomic<bool>>(false);
+
+  // A (tier 0): blocks in layer 0 until C and B are queued, then gets
+  // preempted by C at the layer-1 boundary.
+  RequestOptions a;
+  a.cancel = token_a;
+  a.weight_init = [&](std::int64_t layer, Tensor<std::int16_t>& k) {
+    if (layer == 0 && !a_gated.exchange(true)) {
+      a_started.set_value();
+      a_gate.wait();
+    }
+    Rng rng(7);
+    k.fill_random(rng, -16, 16);
+  };
+  auto fa = fleet.submit(net, 1, a);
+  a_started.get_future().wait();
+
+  // C (tier 1): the preemptor; its weight_init cancels A, so A is
+  // cancelled while checkpointed — before it can resume.
+  RequestOptions c;
+  c.priority = 1;
+  c.weight_init = [&](std::int64_t, Tensor<std::int16_t>& k) {
+    token_a->store(true);
+    Rng rng(8);
+    k.fill_random(rng, -16, 16);
+  };
+  auto fc = fleet.submit(net, 1, c);
+
+  // B (tier 0): runs after A's cancellation and blocks so the test can
+  // observe the backlog mid-flight.
+  RequestOptions b;
+  b.weight_init = [&](std::int64_t layer, Tensor<std::int16_t>& k) {
+    if (layer == 0 && !b_gated.exchange(true)) {
+      b_started.set_value();
+      b_gate.wait();
+    }
+    Rng rng(9);
+    k.fill_random(rng, -16, 16);
+  };
+  auto fb = fleet.submit(net, 1, b);
+  release_a.set_value();
+
+  const InferenceResult ra = fa.get();
+  EXPECT_EQ(ra.status, RequestStatus::kCancelled);
+  EXPECT_EQ(ra.preemptions, 1);
+  EXPECT_EQ(ra.completed_layers, 1);  // the checkpointed layer counts
+  EXPECT_GT(ra.modelled_seconds_retired, 0.0);
+  EXPECT_LE(ra.modelled_seconds_retired, ra.modelled_seconds);
+  (void)fc.get();
+
+  // B is the only live request: with A (preempted, then cancelled) and C
+  // retired exactly once each, the chip backlog must be exactly B's
+  // modelled seconds. A double retraction of A would have eaten into it.
+  b_started.get_future().wait();
+  const FleetStats mid = fleet.stats();
+  EXPECT_NEAR(mid.chips[0].backlog_seconds, modelled, 1e-12);
+
+  release_b.set_value();
+  (void)fb.get();
+  fleet.wait_idle();
+
+  const FleetStats stats = fleet.stats();
+  EXPECT_EQ(stats.completed, 2);
+  EXPECT_EQ(stats.cancelled, 1);
+  EXPECT_EQ(stats.preemptions, 1);
+  EXPECT_EQ(stats.resumes, 0);  // cancelled while checkpointed
+  EXPECT_NEAR(stats.chips[0].backlog_seconds, 0.0, 1e-12);
+}
+
+TEST(Fleet, AdmissionRejectsDeadlineInfeasibleOnEveryChip) {
+  FleetOptions fo;
+  fo.threads_per_chip = 1;
+  Fleet fleet(fo);
+  const nn::NetworkModel net = tiny_net();
+
+  // Infeasible everywhere: the modelled chain seconds alone dwarf a
+  // 1 ns deadline. With admission on, the future resolves kRejected at
+  // submit; nothing reaches any server and nothing is charged.
+  RequestOptions doomed;
+  doomed.deadline_ms = 1e-6;
+  doomed.admission = true;
+  const InferenceResult r = fleet.submit(net, 1, doomed).get();
+  EXPECT_EQ(r.status, RequestStatus::kRejected);
+  EXPECT_EQ(r.completed_layers, 0);
+  EXPECT_TRUE(r.run.layers.empty());
+  EXPECT_GT(r.modelled_seconds, 0.0);  // the infeasible estimate, echoed
+
+  FleetStats stats = fleet.stats();
+  EXPECT_EQ(stats.rejected, 1);
+  EXPECT_EQ(stats.submitted, 0);  // never reached a chip server
+  for (const FleetChipStats& chip : stats.chips) {
+    EXPECT_EQ(chip.routed, 0);
+    EXPECT_NEAR(chip.backlog_seconds, 0.0, 1e-12);
+    EXPECT_NEAR(chip.dispatched_seconds, 0.0, 1e-12);
+  }
+
+  // The same deadline without admission executes the old path: picked up
+  // past-deadline, resolved kCancelled, counted as expired.
+  RequestOptions late = doomed;
+  late.admission = false;
+  const InferenceResult rl = fleet.submit(net, 1, late).get();
+  EXPECT_EQ(rl.status, RequestStatus::kCancelled);
+  EXPECT_TRUE(rl.deadline_expired);
+  fleet.wait_idle();
+  stats = fleet.stats();
+  EXPECT_EQ(stats.cancelled, 1);
+  EXPECT_EQ(stats.deadline_expired, 1);
+  EXPECT_EQ(stats.rejected, 1);
+
+  // A feasible deadline passes admission and runs normally.
+  RequestOptions fine;
+  fine.deadline_ms = 600e3;
+  fine.admission = true;
+  const InferenceResult rf = fleet.submit(net, 1, fine).get();
+  EXPECT_EQ(rf.status, RequestStatus::kOk);
+  fleet.wait_idle();
+  stats = fleet.stats();
+  EXPECT_EQ(stats.rejected, 1);
+  EXPECT_EQ(stats.completed, 1);
+  for (const FleetChipStats& chip : stats.chips)
+    EXPECT_NEAR(chip.backlog_seconds, 0.0, 1e-12);
 }
 
 TEST(Fleet, HonorsPerRequestArrayOverride) {

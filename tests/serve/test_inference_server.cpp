@@ -370,6 +370,166 @@ TEST(InferenceServer, EarliestDeadlineFirstWithinATier) {
   EXPECT_EQ(completion_order[3], 2);  // no deadline goes last
 }
 
+TEST(InferenceServer, PreemptionCheckpointsAndResumesBitIdentical) {
+  // One worker, preemption on: a tier-0 request is mid-run (blocked in
+  // layer 0's weight_init) when a tier-1 request arrives. The worker
+  // must checkpoint the tier-0 run at the layer-1 boundary, serve the
+  // tier-1 request first, then resume the checkpoint — and the resumed
+  // result must be bit-identical to running the request undisturbed.
+  std::vector<std::int64_t> completion_order;
+  std::mutex order_mu;
+  std::promise<void> blocker_started;
+  std::promise<void> release_blocker;
+  std::shared_future<void> release = release_blocker.get_future().share();
+  std::atomic<bool> gated{false};
+
+  ServerOptions so;
+  so.num_threads = 1;
+  so.enable_preemption = true;
+  so.completion_hook = [&](const InferenceResult& r) {
+    std::lock_guard<std::mutex> lock(order_mu);
+    completion_order.push_back(r.request_id);
+  };
+  InferenceServer server(so);
+  const nn::NetworkModel net = tiny_net();
+  const Tensor<std::int16_t> input = tiny_input(1, 321);
+
+  // Per-layer-pure weights so the direct replay below draws the same
+  // kernels without the gating side effects.
+  const auto weights = [](std::int64_t layer, Tensor<std::int16_t>& k) {
+    Rng rng(700 + static_cast<std::uint64_t>(layer));
+    k.fill_random(rng, -16, 16);
+  };
+  RequestOptions victim;  // id 1, tier 0
+  victim.weight_init = [&](std::int64_t layer, Tensor<std::int16_t>& k) {
+    if (layer == 0 && !gated.exchange(true)) {
+      blocker_started.set_value();
+      release.wait();
+    }
+    weights(layer, k);
+  };
+  auto victim_future = server.submit(net, input, victim);
+  blocker_started.get_future().wait();
+
+  RequestOptions urgent;  // id 2, tier 1 — queued while the victim runs
+  urgent.priority = 1;
+  auto urgent_future = server.submit(net, 1, urgent);
+  release_blocker.set_value();
+
+  const InferenceResult vr = victim_future.get();
+  const InferenceResult ur = urgent_future.get();
+  server.wait_idle();
+
+  EXPECT_EQ(vr.status, RequestStatus::kOk);
+  EXPECT_EQ(ur.status, RequestStatus::kOk);
+  EXPECT_EQ(vr.preemptions, 1);
+  EXPECT_TRUE(vr.resumed);
+  EXPECT_FALSE(ur.resumed);
+  ASSERT_EQ(completion_order.size(), 2u);
+  EXPECT_EQ(completion_order[0], 2);  // the urgent request went first
+  EXPECT_EQ(completion_order[1], 1);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 2);
+  EXPECT_EQ(stats.preemptions, 1);
+  EXPECT_EQ(stats.resumes, 1);
+
+  // Bit-identity of the preempted-and-resumed run vs the same request
+  // executed undisturbed.
+  chain::ChainAccelerator acc(so.accelerator);
+  chain::NetworkRunner runner(acc, so.energy);
+  chain::NetworkRunOptions ro;
+  ro.verify_against_golden = false;
+  ro.weight_init = weights;
+  const chain::NetworkRunResult direct = runner.run(net, input, ro);
+  std::string why;
+  EXPECT_TRUE(network_runs_identical(vr.run, direct, &why)) << why;
+}
+
+TEST(InferenceServer, DeadHigherTierWaiterDoesNotPreempt) {
+  // A queued higher-tier request that is already dead on arrival (cancel
+  // token pre-set) resolves at pickup without touching the chip, so it
+  // must not checkpoint the healthy lower-tier run that is in flight.
+  std::promise<void> blocker_started;
+  std::promise<void> release_blocker;
+  std::shared_future<void> release = release_blocker.get_future().share();
+  std::atomic<bool> gated{false};
+
+  ServerOptions so;
+  so.num_threads = 1;
+  so.enable_preemption = true;
+  InferenceServer server(so);
+  const nn::NetworkModel net = tiny_net();
+
+  RequestOptions victim;
+  victim.weight_init = [&](std::int64_t layer, Tensor<std::int16_t>& k) {
+    if (layer == 0 && !gated.exchange(true)) {
+      blocker_started.set_value();
+      release.wait();
+    }
+    Rng rng(7);
+    k.fill_random(rng, -16, 16);
+  };
+  auto f1 = server.submit(net, 1, victim);
+  blocker_started.get_future().wait();
+
+  RequestOptions dead;
+  dead.priority = 2;
+  dead.cancel = std::make_shared<std::atomic<bool>>(true);
+  auto f2 = server.submit(net, 1, dead);
+  release_blocker.set_value();
+
+  EXPECT_EQ(f1.get().status, RequestStatus::kOk);
+  EXPECT_EQ(f2.get().status, RequestStatus::kCancelled);
+  server.wait_idle();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.preemptions, 0);
+  EXPECT_EQ(stats.resumes, 0);
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.cancelled, 1);
+}
+
+TEST(InferenceServer, NoPreemptionAcrossEqualTiers) {
+  // Preemption requires a *strictly* higher tier: an equal-priority
+  // arrival (even with a tighter deadline) never checkpoints the
+  // running request.
+  std::promise<void> blocker_started;
+  std::promise<void> release_blocker;
+  std::shared_future<void> release = release_blocker.get_future().share();
+  std::atomic<bool> gated{false};
+
+  ServerOptions so;
+  so.num_threads = 1;
+  so.enable_preemption = true;
+  InferenceServer server(so);
+  const nn::NetworkModel net = tiny_net();
+
+  RequestOptions first;
+  first.weight_init = [&](std::int64_t layer, Tensor<std::int16_t>& k) {
+    if (layer == 0 && !gated.exchange(true)) {
+      blocker_started.set_value();
+      release.wait();
+    }
+    Rng rng(7);
+    k.fill_random(rng, -16, 16);
+  };
+  auto f1 = server.submit(net, 1, first);
+  blocker_started.get_future().wait();
+  RequestOptions tight;
+  tight.deadline_ms = 10e3;
+  auto f2 = server.submit(net, 1, tight);
+  release_blocker.set_value();
+  (void)f1.get();
+  (void)f2.get();
+  server.wait_idle();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.preemptions, 0);
+  EXPECT_EQ(stats.resumes, 0);
+  EXPECT_EQ(stats.completed, 2);
+}
+
 TEST(InferenceServer, CompletedPastDeadlineCountsAsMiss) {
   ServerOptions so;
   so.num_threads = 1;
