@@ -20,10 +20,17 @@ against the committed baseline and fails (exit 1) when:
   * the preemption counters disagree with themselves (resumes must never
     exceed preemptions — every resume consumes a checkpoint);
   * the admission A/B (same trace with admission control off, then on)
-    stops showing admission strictly reducing missed deadlines
-    (deadline_misses + deadline_expired), or stops rejecting exactly the
-    trace's deliberately-infeasible requests (deterministic: their
-    modelled chain seconds alone exceed the microscopic deadlines).
+    stops showing admission keeping missed deadlines no worse than the
+    uncontrolled run — and clearing them entirely whenever it rejected
+    anything — or stops rejecting exactly the trace's
+    deliberately-infeasible requests (deterministic: their modelled
+    chain seconds alone exceed the microscopic deadlines);
+  * the gateway soak section (when present in both files, emitted by
+    bench_soak) shows any client transport error, HTTP 5xx, server-side
+    parse error or wire-vs-direct digest mismatch, loses a request
+    (completed + cancelled + rejected must cover every submit), or its
+    p99 latency blows past 4x baseline (with an absolute floor
+    absorbing scheduler jitter on small runs).
 
 Prints a markdown delta table to stdout and appends it to
 $GITHUB_STEP_SUMMARY when set. Stdlib only.
@@ -35,6 +42,8 @@ import sys
 
 RPS_DROP_TOLERANCE = 0.25  # fail below 75% of baseline
 HIT_RATE_DROP_TOLERANCE = 0.05  # fail below baseline - 5 points
+GATEWAY_P99_TOLERANCE = 4.0  # fail above 4x baseline p99
+GATEWAY_P99_FLOOR_MS = 50.0  # ... but never below this absolute budget
 
 
 def fmt(value):
@@ -135,12 +144,17 @@ def main(argv):
         adm = fleet.get("admission")
         adm_base = fleet_base.get("admission")
         if adm is not None and adm_base is not None:
+            # Admission must never make deadline outcomes worse, and on a
+            # run that actually rejected infeasible work it must clear the
+            # board. A strict `<` here would fail the perfect run where
+            # both A/B sides miss zero deadlines.
             gate.check(
                 "fleet.admission.missed_with",
                 adm_base["missed_with"],
                 adm["missed_with"],
-                adm["missed_with"] < adm["missed_without"],
-                "< missed_without (admission reduces missed deadlines)",
+                adm["missed_with"] <= adm["missed_without"]
+                and (adm["rejected"] == 0 or adm["missed_with"] == 0),
+                "<= missed_without, and == 0 when anything was rejected",
             )
             gate.check(
                 "fleet.admission.rejected",
@@ -157,6 +171,37 @@ def main(argv):
                        "present in both current and baseline")
     elif (fleet is None) != (fleet_base is None):
         gate.check("fleet section", fleet_base is not None, fleet is not None,
+                   False, "present in both current and baseline")
+
+    gw = current.get("gateway")
+    gw_base = baseline.get("gateway")
+    if gw is not None and gw_base is not None:
+        gate.check("gateway.errors", 0, gw["errors"],
+                   gw["errors"] == 0, "== 0 (client transport errors)")
+        gate.check("gateway.http_5xx", 0, gw["http_5xx"],
+                   gw["http_5xx"] == 0, "== 0")
+        gate.check("gateway.parse_errors", 0, gw["parse_errors"],
+                   gw["parse_errors"] == 0, "== 0 (server-side HTTP parses)")
+        gate.check("gateway.digest_mismatches", 0, gw["digest_mismatches"],
+                   gw["digest_mismatches"] == 0,
+                   "== 0 (wire results bit-identical to direct submits)")
+        accounted = gw["completed"] + gw["cancelled"] + gw["rejected"]
+        gate.check("gateway.completed", gw_base["requests"], accounted,
+                   accounted == gw["requests"],
+                   "completed + cancelled + rejected == requests")
+        p99_budget = max(
+            GATEWAY_P99_TOLERANCE * gw_base["p99_ms"], GATEWAY_P99_FLOOR_MS
+        )
+        gate.check(
+            "gateway.p99_ms",
+            gw_base["p99_ms"],
+            gw["p99_ms"],
+            gw["p99_ms"] <= p99_budget,
+            f"<= max({GATEWAY_P99_TOLERANCE:.0f}x baseline, "
+            f"{GATEWAY_P99_FLOOR_MS:.0f}ms)",
+        )
+    elif (gw is None) != (gw_base is None):
+        gate.check("gateway section", gw_base is not None, gw is not None,
                    False, "present in both current and baseline")
 
     title = "### BENCH_serve regression gate\n\n"

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Regression tests for compare_bench.py (stdlib unittest, run by CTest).
+
+Pins the gate semantics that have actually bitten:
+
+  * an admission A/B where BOTH runs miss zero deadlines must pass — the
+    old strict `missed_with < missed_without` check failed the perfect
+    run (the better the scheduler got, the redder CI turned);
+  * admission that rejected work but still missed deadlines must fail;
+  * the gateway section's zero-error and p99 gates, and the
+    present-in-one-file-only failure mode shared with the fleet section.
+"""
+
+import copy
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import compare_bench  # noqa: E402
+
+
+def serve_doc():
+    """A BENCH_serve.json document that passes every gate against itself."""
+    return {
+        "analytical_rps": 100.0,
+        "cache_hit_rate": 0.95,
+        "fidelity_divergences": 0,
+        "failed": 0,
+        "fleet": {
+            "modelled_speedup": 1.8,
+            "fleet_modelled_rps": 50.0,
+            "fidelity_divergences": 0,
+            "cancelled": 1,
+            "preemptions": 2,
+            "resumes": 2,
+            "admission": {
+                "missed_without": 3,
+                "missed_with": 0,
+                "rejected": 3,
+                "failed": 0,
+            },
+        },
+        "gateway": {
+            "connections": 128,
+            "requests": 256,
+            "completed": 250,
+            "cancelled": 4,
+            "rejected": 2,
+            "errors": 0,
+            "http_5xx": 0,
+            "parse_errors": 0,
+            "digest_mismatches": 0,
+            "p50_ms": 4.0,
+            "p99_ms": 12.0,
+            "p999_ms": 20.0,
+            "rps": 300.0,
+        },
+    }
+
+
+class GateTest(unittest.TestCase):
+    def run_gate(self, current, baseline):
+        with tempfile.TemporaryDirectory() as tmp:
+            cur_path = os.path.join(tmp, "current.json")
+            base_path = os.path.join(tmp, "baseline.json")
+            with open(cur_path, "w") as f:
+                json.dump(current, f)
+            with open(base_path, "w") as f:
+                json.dump(baseline, f)
+            # Silence the markdown table; failures still reach stderr.
+            saved_stdout = sys.stdout
+            sys.stdout = open(os.devnull, "w")
+            try:
+                return compare_bench.main(["compare_bench.py", cur_path,
+                                           base_path])
+            finally:
+                sys.stdout.close()
+                sys.stdout = saved_stdout
+
+    def test_identical_docs_pass(self):
+        self.assertEqual(self.run_gate(serve_doc(), serve_doc()), 0)
+
+    def test_perfect_admission_run_passes(self):
+        # THE regression: zero missed deadlines on both A/B sides used to
+        # fail the strict `missed_with < missed_without` comparison.
+        current = serve_doc()
+        current["fleet"]["admission"]["missed_without"] = 0
+        current["fleet"]["admission"]["missed_with"] = 0
+        self.assertEqual(self.run_gate(current, serve_doc()), 0)
+
+    def test_admission_making_things_worse_fails(self):
+        current = serve_doc()
+        current["fleet"]["admission"]["missed_without"] = 1
+        current["fleet"]["admission"]["missed_with"] = 2
+        self.assertEqual(self.run_gate(current, serve_doc()), 1)
+
+    def test_admission_rejecting_but_still_missing_fails(self):
+        # Rejected infeasible work yet still missed a deadline: the
+        # admission decision and the miss accounting disagree.
+        current = serve_doc()
+        current["fleet"]["admission"]["missed_without"] = 2
+        current["fleet"]["admission"]["missed_with"] = 1
+        self.assertEqual(self.run_gate(current, serve_doc()), 1)
+
+    def test_no_rejections_tolerates_equal_misses(self):
+        current = serve_doc()
+        current["fleet"]["admission"]["rejected"] = 0
+        current["fleet"]["admission"]["missed_without"] = 2
+        current["fleet"]["admission"]["missed_with"] = 2
+        baseline = serve_doc()
+        baseline["fleet"]["admission"]["rejected"] = 0
+        self.assertEqual(self.run_gate(current, baseline), 0)
+
+    def test_rps_regression_fails(self):
+        current = serve_doc()
+        current["analytical_rps"] = 60.0  # below the 75% floor
+        self.assertEqual(self.run_gate(current, serve_doc()), 1)
+
+    def test_gateway_5xx_fails(self):
+        current = serve_doc()
+        current["gateway"]["http_5xx"] = 1
+        self.assertEqual(self.run_gate(current, serve_doc()), 1)
+
+    def test_gateway_transport_error_fails(self):
+        current = serve_doc()
+        current["gateway"]["errors"] = 3
+        self.assertEqual(self.run_gate(current, serve_doc()), 1)
+
+    def test_gateway_digest_mismatch_fails(self):
+        current = serve_doc()
+        current["gateway"]["digest_mismatches"] = 1
+        self.assertEqual(self.run_gate(current, serve_doc()), 1)
+
+    def test_gateway_lost_request_fails(self):
+        current = serve_doc()
+        current["gateway"]["completed"] -= 1  # one request unaccounted for
+        self.assertEqual(self.run_gate(current, serve_doc()), 1)
+
+    def test_gateway_p99_within_floor_passes(self):
+        # Small absolute latencies ride the 50ms floor, not the 4x ratio.
+        current = serve_doc()
+        current["gateway"]["p99_ms"] = 49.0
+        self.assertEqual(self.run_gate(current, serve_doc()), 0)
+
+    def test_gateway_p99_blowup_fails(self):
+        current = serve_doc()
+        current["gateway"]["p99_ms"] = 51.0
+        baseline = serve_doc()
+        baseline["gateway"]["p99_ms"] = 10.0  # 4x => 40ms < 50ms floor
+        self.assertEqual(self.run_gate(current, baseline), 1)
+
+    def test_gateway_section_must_match_presence(self):
+        current = serve_doc()
+        del current["gateway"]
+        self.assertEqual(self.run_gate(current, serve_doc()), 1)
+        baseline = serve_doc()
+        del baseline["gateway"]
+        self.assertEqual(self.run_gate(serve_doc(), baseline), 1)
+
+    def test_gateway_absent_everywhere_is_fine(self):
+        current = serve_doc()
+        baseline = serve_doc()
+        del current["gateway"]
+        del baseline["gateway"]
+        self.assertEqual(self.run_gate(current, baseline), 0)
+
+    def test_fleet_admission_equal_misses_no_rejections_mixed(self):
+        # copy.deepcopy guard: serve_doc() must hand out fresh objects
+        # (a shared nested dict would let one test poison another).
+        a, b = serve_doc(), serve_doc()
+        self.assertIsNot(a["fleet"]["admission"], b["fleet"]["admission"])
+        self.assertEqual(a, copy.deepcopy(b))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,291 @@
+#include "net/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace chainnn::net {
+
+namespace {
+
+char lower(char c) {
+  return static_cast<char>(
+      std::tolower(static_cast<unsigned char>(c)));
+}
+
+// Trims optional whitespace (SP / HTAB) around a header value.
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+    s.remove_suffix(1);
+  return s;
+}
+
+bool is_token_char(char c) {
+  // RFC 9110 token characters; enough to reject separators and controls.
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'':
+    case '*': case '+': case '-': case '.': case '^': case '_':
+    case '`': case '|': case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool valid_token(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), is_token_char);
+}
+
+}  // namespace
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (lower(a[i]) != lower(b[i])) return false;
+  return true;
+}
+
+const std::string* HttpRequest::header(std::string_view name) const {
+  for (const auto& [k, v] : headers)
+    if (iequals(k, name)) return &v;
+  return nullptr;
+}
+
+bool HttpRequest::keep_alive() const {
+  const std::string* connection = header("Connection");
+  if (version == "HTTP/1.0")
+    return connection && iequals(*connection, "keep-alive");
+  return !(connection && iequals(*connection, "close"));
+}
+
+const char* http_status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 411: return "Length Required";
+    case 413: return "Content Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string serialize_response(const HttpResponse& response,
+                               bool keep_alive) {
+  std::string out;
+  out.reserve(128 + response.body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += http_status_reason(response.status);
+  out += "\r\n";
+  if (!response.content_type.empty()) {
+    out += "Content-Type: ";
+    out += response.content_type;
+    out += "\r\n";
+  }
+  for (const auto& [k, v] : response.headers) {
+    out += k;
+    out += ": ";
+    out += v;
+    out += "\r\n";
+  }
+  out += "Content-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+std::string serialize_request(const HttpRequest& request) {
+  std::string out;
+  out.reserve(128 + request.body.size());
+  out += request.method;
+  out += ' ';
+  out += request.target;
+  out += ' ';
+  out += request.version.empty() ? "HTTP/1.1" : request.version;
+  out += "\r\n";
+  for (const auto& [k, v] : request.headers) {
+    out += k;
+    out += ": ";
+    out += v;
+    out += "\r\n";
+  }
+  if (!request.body.empty() || request.method == "POST") {
+    out += "Content-Length: ";
+    out += std::to_string(request.body.size());
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += request.body;
+  return out;
+}
+
+HttpParser::Status HttpParser::fail(int status, std::string why) {
+  poisoned_ = true;
+  error_status_ = status;
+  error_ = std::move(why);
+  return Status::kError;
+}
+
+HttpParser::Status HttpParser::next(HttpRequest* out) {
+  if (poisoned_) return Status::kError;
+
+  // Locate the end of the header block. Both CRLFCRLF and bare LFLF are
+  // accepted (lenient in line endings, strict in everything else).
+  std::size_t head_end = buffer_.find("\r\n\r\n");
+  std::size_t body_start;
+  if (head_end != std::string::npos) {
+    body_start = head_end + 4;
+  } else {
+    head_end = buffer_.find("\n\n");
+    if (head_end == std::string::npos) {
+      if (buffer_.size() > limits_.max_header_bytes)
+        return fail(431, "header block exceeds " +
+                             std::to_string(limits_.max_header_bytes) +
+                             " bytes");
+      return Status::kNeedMore;
+    }
+    body_start = head_end + 2;
+  }
+  if (head_end > limits_.max_header_bytes)
+    return fail(431, "header block exceeds " +
+                         std::to_string(limits_.max_header_bytes) + " bytes");
+
+  const std::string_view head(buffer_.data(), head_end);
+
+  // --- request line --------------------------------------------------
+  std::size_t line_end = head.find('\n');
+  std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  if (!request_line.empty() && request_line.back() == '\r')
+    request_line.remove_suffix(1);
+  if (request_line.size() > limits_.max_request_line)
+    return fail(431, "request line exceeds " +
+                         std::to_string(limits_.max_request_line) + " bytes");
+
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? std::string_view::npos
+                                    : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      request_line.find(' ', sp2 + 1) != std::string_view::npos)
+    return fail(400, "malformed request line");
+  const std::string_view method = request_line.substr(0, sp1);
+  const std::string_view target =
+      request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = request_line.substr(sp2 + 1);
+  if (!valid_token(method) || target.empty() || target.front() != '/')
+    return fail(400, "malformed request line");
+  if (version != "HTTP/1.1" && version != "HTTP/1.0")
+    return fail(400, "unsupported HTTP version");
+
+  // --- headers -------------------------------------------------------
+  HttpRequest request;
+  request.method = std::string(method);
+  request.target = std::string(target);
+  request.version = std::string(version);
+  std::size_t content_length = 0;
+  bool have_content_length = false;
+  std::size_t pos = line_end == std::string_view::npos ? head.size()
+                                                       : line_end + 1;
+  while (pos < head.size()) {
+    std::size_t eol = head.find('\n', pos);
+    std::string_view line = eol == std::string_view::npos
+                                ? head.substr(pos)
+                                : head.substr(pos, eol - pos);
+    pos = eol == std::string_view::npos ? head.size() : eol + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0)
+      return fail(400, "malformed header line");
+    const std::string_view name = line.substr(0, colon);
+    if (!valid_token(name))
+      return fail(400, "malformed header name");
+    const std::string_view value = trim(line.substr(colon + 1));
+    if (iequals(name, "Transfer-Encoding"))
+      return fail(501, "Transfer-Encoding is not supported");
+    if (iequals(name, "Content-Length")) {
+      std::uint64_t parsed = 0;
+      const auto [ptr, ec] = std::from_chars(
+          value.data(), value.data() + value.size(), parsed);
+      if (ec != std::errc() || ptr != value.data() + value.size() ||
+          value.empty())
+        return fail(400, "invalid Content-Length");
+      if (have_content_length && parsed != content_length)
+        return fail(400, "conflicting Content-Length headers");
+      if (parsed > limits_.max_body_bytes)
+        return fail(413, "body exceeds " +
+                             std::to_string(limits_.max_body_bytes) +
+                             " bytes");
+      content_length = static_cast<std::size_t>(parsed);
+      have_content_length = true;
+    }
+    request.headers.emplace_back(std::string(name), std::string(value));
+  }
+
+  // --- body ----------------------------------------------------------
+  if (buffer_.size() - body_start < content_length)
+    return Status::kNeedMore;
+  request.body = buffer_.substr(body_start, content_length);
+  buffer_.erase(0, body_start + content_length);
+  *out = std::move(request);
+  return Status::kReady;
+}
+
+bool parse_response_head(
+    std::string_view head, int* status,
+    std::vector<std::pair<std::string, std::string>>* headers,
+    std::string* why) {
+  const auto fail = [why](const char* msg) {
+    if (why) *why = msg;
+    return false;
+  };
+  std::size_t pos = 0;
+  std::size_t eol = head.find('\n');
+  std::string_view status_line =
+      eol == std::string_view::npos ? head : head.substr(0, eol);
+  if (!status_line.empty() && status_line.back() == '\r')
+    status_line.remove_suffix(1);
+  if (status_line.substr(0, 5) != "HTTP/") return fail("not an HTTP response");
+  const std::size_t sp = status_line.find(' ');
+  if (sp == std::string_view::npos || sp + 4 > status_line.size())
+    return fail("malformed status line");
+  const std::string_view code = status_line.substr(sp + 1, 3);
+  int parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(code.data(), code.data() + code.size(), parsed);
+  if (ec != std::errc() || ptr != code.data() + code.size())
+    return fail("malformed status code");
+  *status = parsed;
+  pos = eol == std::string_view::npos ? head.size() : eol + 1;
+  while (pos < head.size()) {
+    eol = head.find('\n', pos);
+    std::string_view line = eol == std::string_view::npos
+                                ? head.substr(pos)
+                                : head.substr(pos, eol - pos);
+    pos = eol == std::string_view::npos ? head.size() : eol + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0)
+      return fail("malformed response header");
+    headers->emplace_back(std::string(line.substr(0, colon)),
+                          std::string(trim(line.substr(colon + 1))));
+  }
+  return true;
+}
+
+}  // namespace chainnn::net

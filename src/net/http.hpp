@@ -1,0 +1,112 @@
+// Minimal HTTP/1.1 message layer: request parsing, response rendering,
+// and response parsing (for the in-tree client and the soak driver).
+//
+// Scope is deliberately small — exactly what a JSON inference gateway
+// needs and nothing more:
+//   * fixed-length bodies only (Content-Length); Transfer-Encoding is
+//     answered 501, a missing length on POST means "no body";
+//   * keep-alive per HTTP/1.1 defaults (1.1: persistent unless
+//     "Connection: close"; 1.0: close unless "keep-alive");
+//   * hard limits on request-line, header-block and body sizes, each
+//     mapping to its own 4xx — a malformed or hostile peer costs one
+//     error response and a closed socket, never a crash or an
+//     unbounded buffer.
+//
+// HttpParser is incremental: feed() bytes as they arrive, next() yields
+// complete requests (possibly several per feed — pipelining works) or
+// kError with the 4xx/5xx status to answer before closing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace chainnn::net {
+
+struct HttpRequest {
+  std::string method;   // uppercase-only token, e.g. "GET"
+  std::string target;   // request target, e.g. "/v1/submit"
+  std::string version;  // "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  // First header value matching `name` (case-insensitive), or nullptr.
+  [[nodiscard]] const std::string* header(std::string_view name) const;
+  [[nodiscard]] bool keep_alive() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  // Extra headers beyond Content-Type/Content-Length/Connection.
+  std::vector<std::pair<std::string, std::string>> headers;
+};
+
+[[nodiscard]] const char* http_status_reason(int status);
+
+// Renders status line + headers + body with an explicit Content-Length
+// and a Connection header matching `keep_alive`.
+[[nodiscard]] std::string serialize_response(const HttpResponse& response,
+                                             bool keep_alive);
+[[nodiscard]] std::string serialize_request(const HttpRequest& request);
+
+struct HttpLimits {
+  std::size_t max_request_line = 8 * 1024;
+  std::size_t max_header_bytes = 32 * 1024;  // request line + all headers
+  std::size_t max_body_bytes = 4 * 1024 * 1024;
+};
+
+class HttpParser {
+ public:
+  enum class Status {
+    kNeedMore,  // no complete request buffered yet
+    kReady,     // *out filled with one complete request
+    kError,     // protocol violation; see error_status()/error()
+  };
+
+  explicit HttpParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  // Appends raw bytes from the socket.
+  void feed(const char* data, std::size_t n) { buffer_.append(data, n); }
+  void feed(std::string_view data) { buffer_.append(data); }
+
+  // Extracts the next complete request from the buffer. After kError the
+  // parser is poisoned (the connection must be closed — resynchronizing
+  // inside a corrupt byte stream is how request-smuggling bugs start).
+  [[nodiscard]] Status next(HttpRequest* out);
+
+  // With kError: the HTTP status to answer (400 / 413 / 431 / 501) and
+  // a one-line reason.
+  [[nodiscard]] int error_status() const { return error_status_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  // True when a partial request sits in the buffer (for distinguishing
+  // "peer closed between requests" from "peer closed mid-request").
+  [[nodiscard]] bool mid_request() const { return !buffer_.empty(); }
+
+ private:
+  Status fail(int status, std::string why);
+
+  HttpLimits limits_;
+  std::string buffer_;
+  bool poisoned_ = false;
+  int error_status_ = 0;
+  std::string error_;
+};
+
+// Parses one complete "HTTP/1.1 200 OK\r\n...\r\n\r\nbody" response held
+// fully in `text` (the client reads until Content-Length is satisfied).
+// Returns false on malformed input.
+[[nodiscard]] bool parse_response_head(std::string_view head, int* status,
+                                       std::vector<std::pair<std::string,
+                                                             std::string>>*
+                                           headers,
+                                       std::string* why);
+
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b);
+
+}  // namespace chainnn::net

@@ -1,0 +1,200 @@
+#include "net/http_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <utility>
+
+namespace chainnn::net {
+
+namespace {
+
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpClient::HttpClient(std::string host, std::uint16_t port, double timeout_s)
+    : host_(std::move(host)), port_(port), timeout_s_(timeout_s) {}
+
+HttpClient::~HttpClient() { close(); }
+
+HttpClient::HttpClient(HttpClient&& other) noexcept
+    : host_(std::move(other.host_)),
+      port_(other.port_),
+      timeout_s_(other.timeout_s_),
+      fd_(std::exchange(other.fd_, -1)),
+      rx_(std::move(other.rx_)),
+      error_(std::move(other.error_)) {}
+
+HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    timeout_s_ = other.timeout_s_;
+    fd_ = std::exchange(other.fd_, -1);
+    rx_ = std::move(other.rx_);
+    error_ = std::move(other.error_);
+  }
+  return *this;
+}
+
+void HttpClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rx_.clear();
+}
+
+bool HttpClient::fail(std::string why) {
+  error_ = std::move(why);
+  close();
+  return false;
+}
+
+bool HttpClient::ensure_connected() {
+  if (fd_ >= 0) return true;
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return fail(std::string("socket(): ") + std::strerror(errno));
+
+  // Request/response bodies are small; latency matters more than
+  // coalescing for the soak's p99 measurements.
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1)
+    return fail("invalid address: " + host_);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0)
+    return fail("connect(" + host_ + ":" + std::to_string(port_) +
+                "): " + std::strerror(errno));
+  rx_.clear();
+  return true;
+}
+
+bool HttpClient::request(const HttpRequest& req, HttpResponse* resp) {
+  if (!ensure_connected()) return false;
+  if (!send_all(fd_, serialize_request(req)))
+    return fail(std::string("send(): ") + std::strerror(errno));
+  return read_response(resp);
+}
+
+bool HttpClient::get(const std::string& target, HttpResponse* resp) {
+  HttpRequest req;
+  req.method = "GET";
+  req.target = target;
+  req.version = "HTTP/1.1";
+  return request(req, resp);
+}
+
+bool HttpClient::post_json(const std::string& target, std::string body,
+                           HttpResponse* resp) {
+  HttpRequest req;
+  req.method = "POST";
+  req.target = target;
+  req.version = "HTTP/1.1";
+  req.headers.emplace_back("Content-Type", "application/json");
+  req.body = std::move(body);
+  return request(req, resp);
+}
+
+bool HttpClient::read_response(HttpResponse* resp) {
+  const int timeout_ms =
+      timeout_s_ <= 0 ? -1 : static_cast<int>(timeout_s_ * 1000.0);
+  char buf[16 * 1024];
+
+  const auto read_more = [&]() -> bool {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) return fail(std::string("poll(): ") + std::strerror(errno));
+    if (ready == 0)
+      return fail("timed out after " + std::to_string(timeout_s_) +
+                  "s waiting for response");
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) return fail("server closed connection mid-response");
+    if (n < 0) {
+      if (errno == EINTR) return true;
+      return fail(std::string("recv(): ") + std::strerror(errno));
+    }
+    rx_.append(buf, static_cast<std::size_t>(n));
+    return true;
+  };
+
+  // --- head ------------------------------------------------------------
+  std::size_t head_end = std::string::npos;
+  std::size_t body_start = 0;
+  for (;;) {
+    head_end = rx_.find("\r\n\r\n");
+    if (head_end != std::string::npos) {
+      body_start = head_end + 4;
+      break;
+    }
+    head_end = rx_.find("\n\n");
+    if (head_end != std::string::npos) {
+      body_start = head_end + 2;
+      break;
+    }
+    if (!read_more()) return false;
+  }
+
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string why;
+  if (!parse_response_head(std::string_view(rx_.data(), head_end), &status,
+                           &headers, &why))
+    return fail("malformed response: " + why);
+
+  std::size_t content_length = 0;
+  bool server_wants_close = false;
+  std::string content_type;
+  for (const auto& [k, v] : headers) {
+    if (iequals(k, "Content-Length")) {
+      std::uint64_t parsed = 0;
+      const auto [ptr, ec] =
+          std::from_chars(v.data(), v.data() + v.size(), parsed);
+      if (ec != std::errc() || ptr != v.data() + v.size())
+        return fail("malformed Content-Length in response");
+      content_length = static_cast<std::size_t>(parsed);
+    } else if (iequals(k, "Connection")) {
+      server_wants_close = iequals(v, "close");
+    } else if (iequals(k, "Content-Type")) {
+      content_type = v;
+    }
+  }
+
+  // --- body ------------------------------------------------------------
+  while (rx_.size() - body_start < content_length)
+    if (!read_more()) return false;
+
+  resp->status = status;
+  resp->content_type = std::move(content_type);
+  resp->headers = std::move(headers);
+  resp->body = rx_.substr(body_start, content_length);
+  rx_.erase(0, body_start + content_length);
+
+  if (server_wants_close) close();
+  return true;
+}
+
+}  // namespace chainnn::net

@@ -1,0 +1,61 @@
+// HttpClient — a blocking HTTP/1.1 client holding ONE persistent
+// keep-alive connection. This is the measurement instrument for the
+// gateway: the soak driver owns hundreds of these (one per simulated
+// session) and the integration tests use it to round-trip requests, so
+// it reuses the same message layer (http.hpp) the server is built on —
+// a framing bug cannot hide by being symmetric, because the unit tests
+// also exercise the parser against hand-written byte strings.
+//
+// request() lazily (re)connects, writes the serialized request, and
+// blocks until the full response (head + Content-Length body) arrives
+// or timeout_s passes without progress. On any transport error the
+// socket is dropped and the next request() reconnects — the caller
+// just sees `false` + error(). Responses carrying "Connection: close"
+// also drop the socket, honoring the server's choice.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/http.hpp"
+
+namespace chainnn::net {
+
+class HttpClient {
+ public:
+  HttpClient(std::string host, std::uint16_t port, double timeout_s = 30.0);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+  HttpClient(HttpClient&& other) noexcept;
+  HttpClient& operator=(HttpClient&& other) noexcept;
+
+  // Performs one request/response exchange. Returns false on connect,
+  // send, read-timeout or malformed-response errors; see error().
+  [[nodiscard]] bool request(const HttpRequest& req, HttpResponse* resp);
+
+  [[nodiscard]] bool get(const std::string& target, HttpResponse* resp);
+  [[nodiscard]] bool post_json(const std::string& target, std::string body,
+                               HttpResponse* resp);
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+  // True while the persistent socket is connected.
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  void close();
+
+ private:
+  bool ensure_connected();
+  bool read_response(HttpResponse* resp);
+  bool fail(std::string why);  // drops the socket, records why, -> false
+
+  std::string host_;
+  std::uint16_t port_;
+  double timeout_s_;
+  int fd_ = -1;
+  std::string rx_;  // bytes read past the previous response (pipelining)
+  std::string error_;
+};
+
+}  // namespace chainnn::net

@@ -1,0 +1,253 @@
+#include "net/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "net/json.hpp"
+
+namespace chainnn::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Polling granularity for reads and accepts: short enough that stop()
+// and idle timeouts bite promptly, long enough to stay off the CPU.
+constexpr int kPollMs = 100;
+
+// Writes the whole buffer, retrying short sends. MSG_NOSIGNAL: a peer
+// that hung up costs EPIPE here, not SIGPIPE for the process.
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+HttpResponse error_response(int status, std::string_view message) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = "{\"error\": " + json_quote(message) + "}";
+  return resp;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+HttpServer::HttpServer(HttpServerOptions options, HttpHandler handler)
+    : opts_(std::move(options)), handler_(std::move(handler)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket()");
+
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("invalid bind address: " + opts_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("bind(" + opts_.bind_address + ":" +
+                std::to_string(opts_.port) + ")");
+  }
+  if (::listen(listen_fd_, opts_.listen_backlog) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("listen()");
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("getsockname()");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  accept_thread_ = std::thread(&HttpServer::accept_loop, this);
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+HttpServerStats HttpServer::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void HttpServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    reap_finished();
+    if (ready <= 0) continue;
+
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+
+    std::lock_guard lock(mu_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      break;
+    }
+    if (static_cast<std::int64_t>(connections_.size()) >=
+        opts_.max_connections) {
+      ++stats_.connections_rejected;
+      send_all(fd, serialize_response(
+                       error_response(503, "server at connection capacity"),
+                       /*keep_alive=*/false));
+      ::close(fd);
+      continue;
+    }
+    ++stats_.connections_accepted;
+    connections_.emplace_back();
+    const auto it = std::prev(connections_.end());
+    it->fd = fd;
+    it->thread = std::thread(&HttpServer::connection_loop, this, it);
+  }
+}
+
+void HttpServer::connection_loop(std::list<Connection>::iterator self) {
+  const int fd = self->fd;
+  HttpParser parser(opts_.limits);
+  const auto idle_timeout = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(opts_.idle_timeout_s));
+  auto last_activity = Clock::now();
+  char buf[16 * 1024];
+  bool open = true;
+
+  while (open && !stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) {
+      // The timeout also covers a peer dribbling a request one byte at
+      // a time: inactivity mid-request is a slow-loris, not a client.
+      if (Clock::now() - last_activity > idle_timeout) break;
+      continue;
+    }
+
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // peer closed (0) or hard error (<0)
+    last_activity = Clock::now();
+    parser.feed(buf, static_cast<std::size_t>(n));
+
+    for (;;) {
+      HttpRequest request;
+      const HttpParser::Status status = parser.next(&request);
+      if (status == HttpParser::Status::kNeedMore) break;
+      if (status == HttpParser::Status::kError) {
+        {
+          std::lock_guard lock(mu_);
+          ++stats_.parse_errors;
+        }
+        send_all(fd, serialize_response(
+                         error_response(parser.error_status(), parser.error()),
+                         /*keep_alive=*/false));
+        open = false;
+        break;
+      }
+
+      {
+        std::lock_guard lock(mu_);
+        ++stats_.requests;
+      }
+      HttpResponse response;
+      try {
+        response = handler_(request);
+      } catch (const std::exception& e) {
+        response = error_response(500, e.what());
+      } catch (...) {
+        response = error_response(500, "unhandled exception");
+      }
+      if (response.status >= 500) {
+        std::lock_guard lock(mu_);
+        ++stats_.responses_5xx;
+      }
+      const bool keep_alive = request.keep_alive();
+      if (!send_all(fd, serialize_response(response, keep_alive))) {
+        open = false;
+        break;
+      }
+      if (!keep_alive) {
+        open = false;
+        break;
+      }
+    }
+  }
+
+  // Close and deregister atomically: stop() shuts down fds of entries
+  // still in connections_, so the fd must not be recycled while listed.
+  std::lock_guard lock(mu_);
+  ::close(fd);
+  reaped_.push_back(std::move(self->thread));
+  connections_.erase(self);
+}
+
+void HttpServer::reap_finished() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard lock(mu_);
+    done.swap(reaped_);
+  }
+  for (std::thread& t : done) t.join();
+}
+
+void HttpServer::stop() {
+  stopping_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (;;) {
+    std::vector<std::thread> done;
+    bool drained = false;
+    {
+      std::lock_guard lock(mu_);
+      for (Connection& c : connections_) ::shutdown(c.fd, SHUT_RDWR);
+      done.swap(reaped_);
+      drained = connections_.empty();
+    }
+    for (std::thread& t : done) t.join();
+    if (drained && done.empty()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace chainnn::net

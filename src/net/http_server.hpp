@@ -1,0 +1,96 @@
+// HttpServer — a small, dependency-free HTTP/1.1 server over POSIX
+// sockets: a blocking accept loop plus one worker thread per live
+// connection, each multiplexing reads through poll() so shutdown and
+// idle timeouts interrupt a quiet socket.
+//
+// The per-connection-thread model is deliberate: the gateway's
+// /v1/submit handler blocks on an inference future (possibly for the
+// whole modelled run plus queueing), so an event-loop worker shared
+// between connections would head-of-line-block every other request on
+// it. Hundreds of mostly-waiting threads are cheap; a stalled chip
+// starving unrelated connections is not. max_connections caps the
+// thread count — excess connections are answered 503 and closed, which
+// a load generator reads as explicit overload, not a hang.
+//
+// Lifecycle: the constructor binds/listens (throws std::runtime_error
+// on failure — a busy port must not produce a half-alive server) and
+// starts accepting; stop() (idempotent, also run by the destructor)
+// closes the listener, shuts down every live connection socket and
+// joins all threads. port() reports the actually-bound port, so
+// requesting port 0 yields an ephemeral listener for tests and local
+// demos.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/http.hpp"
+
+namespace chainnn::net {
+
+struct HttpServerOptions {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral, read back via port()
+  int listen_backlog = 256;
+  std::int64_t max_connections = 1024;
+  double idle_timeout_s = 30.0;  // keep-alive connections idle this long
+  HttpLimits limits;
+};
+
+struct HttpServerStats {
+  std::int64_t connections_accepted = 0;
+  std::int64_t connections_rejected = 0;  // over max_connections -> 503
+  std::int64_t requests = 0;              // complete requests handled
+  std::int64_t parse_errors = 0;          // 4xx/5xx answered by the parser
+  std::int64_t responses_5xx = 0;         // handler-produced 5xx
+};
+
+// Maps one parsed request to the response to send. Runs on the
+// connection's thread; throwing is answered with a plain 500.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  HttpServer(HttpServerOptions options, HttpHandler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] HttpServerStats stats() const;
+
+  // Stops accepting, disconnects every live connection and joins all
+  // threads. Safe to call more than once.
+  void stop();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+  };
+
+  void accept_loop();
+  void connection_loop(std::list<Connection>::iterator self);
+  // Joins connection threads that have finished (moved to reaped_).
+  void reap_finished();
+
+  HttpServerOptions opts_;
+  HttpHandler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  mutable std::mutex mu_;  // guards connections_, reaped_, stats_
+  std::list<Connection> connections_;
+  std::vector<std::thread> reaped_;
+  HttpServerStats stats_;
+};
+
+}  // namespace chainnn::net

@@ -267,11 +267,27 @@ std::optional<InferenceResult> InferenceServer::execute_request(Task& task) {
   // interrupting it would only manufacture false divergences.
   const std::optional<Clock::time_point> deadline = task.deadline;
   const std::shared_ptr<std::atomic<bool>> token = task.options.cancel;
+  // The cancel decision and its classification (deadline vs token) must
+  // come from the same Clock::now() sample: re-sampling at the catch
+  // site would let a token-cancelled request be re-classified
+  // deadline_expired when the deadline passes between the check and the
+  // catch. The deadline is tested first — when both causes hold at the
+  // same instant, the deadline wins (the classification the scheduling
+  // oracle in test_sched_properties expects).
+  bool deadline_caused_cancel = false;
   std::function<bool()> cancel_check;
   if (deadline || token)
-    cancel_check = [deadline, token] {
-      if (token && token->load(std::memory_order_relaxed)) return true;
-      return deadline && Clock::now() > *deadline;
+    cancel_check = [deadline, token, &deadline_caused_cancel] {
+      const auto now = Clock::now();
+      if (deadline && now > *deadline) {
+        deadline_caused_cancel = true;
+        return true;
+      }
+      if (token && token->load(std::memory_order_relaxed)) {
+        deadline_caused_cancel = false;
+        return true;
+      }
+      return false;
     };
   // Preemption: yield at the next layer boundary when a strictly-higher
   // tier is waiting. The queue is a max-heap, so its front is the next
@@ -320,7 +336,10 @@ std::optional<InferenceResult> InferenceServer::execute_request(Task& task) {
   } catch (const chain::RunCancelled& cancelled) {
     out.status = RequestStatus::kCancelled;
     out.completed_layers = cancelled.completed_layers();
-    out.deadline_expired = deadline && Clock::now() > *deadline;
+    // Classified by the cancel_check sample that aborted the run, not a
+    // fresh Clock::now() — exactly one terminal deadline classification
+    // per request.
+    out.deadline_expired = deadline_caused_cancel;
     out.run = chain::NetworkRunResult{};
   } catch (const chain::RunPreempted& preempted) {
     // The yield committed by preempt_check is complete: release the
@@ -403,10 +422,18 @@ void InferenceServer::worker_loop() {
     // checkpointed request cancelled before its resume — resolves
     // kCancelled without touching the execution stack (the checkpointed
     // layers still count as completed work on the result).
+    // One Clock::now() sample decides both whether the request is dead
+    // on arrival and how the cancellation is classified: a token-set
+    // request whose deadline passes between two separate samples must
+    // not flip to deadline_expired. Deadline wins when both causes hold
+    // at the sampled instant (matching the mid-run classification).
+    const auto pickup_now = Clock::now();
+    const bool deadline_dead_on_arrival =
+        task.deadline && pickup_now > *task.deadline;
     const bool dead_on_arrival =
+        deadline_dead_on_arrival ||
         (task.options.cancel &&
-         task.options.cancel->load(std::memory_order_relaxed)) ||
-        (task.deadline && Clock::now() > *task.deadline);
+         task.options.cancel->load(std::memory_order_relaxed));
     const bool is_resume = !dead_on_arrival && task.checkpoint != nullptr;
 
     InferenceResult result;
@@ -423,9 +450,12 @@ void InferenceServer::worker_loop() {
               ? static_cast<std::int64_t>(task.checkpoint->layers.size())
               : 0;
       result.status = RequestStatus::kCancelled;
-      result.deadline_expired =
-          task.deadline && Clock::now() > *task.deadline;
-      result.queue_ms = ms_between(task.enqueued, Clock::now());
+      result.deadline_expired = deadline_dead_on_arrival;
+      result.queue_ms = ms_between(task.enqueued, pickup_now);
+      // A preempted request cancelled at pickup already executed (and
+      // banked) attempts; dropping them would break the invariant that
+      // wall_ms covers every execution attempt.
+      result.wall_ms = task.wall_ms_accum;
     } else {
       try {
         std::optional<InferenceResult> maybe = execute_request(task);

@@ -1,0 +1,62 @@
+#include "serve/latency_histogram.hpp"
+
+#include <cmath>
+
+namespace chainnn::serve {
+
+double LatencyHistogram::bucket_upper_ms(int i) {
+  return kMinMs * std::exp2(static_cast<double>(i) / 4.0);
+}
+
+void LatencyHistogram::record(double ms) {
+  if (!(ms >= 0.0)) ms = 0.0;  // NaN / negative clock dust -> bucket 0
+  int idx = 0;
+  if (ms > kMinMs) {
+    // First bucket whose upper bound covers the sample: ceil of the
+    // log-ratio in quarter-octaves.
+    idx = static_cast<int>(std::ceil(4.0 * std::log2(ms / kMinMs)));
+    if (idx < 0) idx = 0;
+    if (idx > kFiniteBuckets) idx = kFiniteBuckets;  // +Inf overflow
+  }
+  counts_[static_cast<std::size_t>(idx)].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(static_cast<std::uint64_t>(ms * 1e6),
+                    std::memory_order_relaxed);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot s;
+  s.counts.resize(kFiniteBuckets + 1);
+  // Bucket counts are summed rather than trusting count_: a scrape
+  // racing a record() must still report count == sum(buckets), or the
+  // Prometheus +Inf cumulative bucket would disagree with _count.
+  for (int i = 0; i <= kFiniteBuckets; ++i) {
+    s.counts[static_cast<std::size_t>(i)] =
+        counts_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    s.count += s.counts[static_cast<std::size_t>(i)];
+  }
+  s.sum_ms =
+      static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) / 1e6;
+  return s;
+}
+
+double LatencyHistogram::Snapshot::quantile_ms(double p) const {
+  if (count == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the quantile sample, 1-based; ceil so p = 0.5 of 2 samples
+  // picks the first, p = 1.0 the last.
+  const double exact = p * static_cast<double>(count);
+  std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(exact));
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i <= kFiniteBuckets; ++i) {
+    cumulative += counts[static_cast<std::size_t>(i)];
+    if (cumulative >= rank)
+      return bucket_upper_ms(i < kFiniteBuckets ? i : kFiniteBuckets - 1);
+  }
+  return bucket_upper_ms(kFiniteBuckets - 1);  // unreachable
+}
+
+}  // namespace chainnn::serve

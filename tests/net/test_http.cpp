@@ -1,0 +1,227 @@
+// HTTP message layer: a hostile or sloppy peer costs one 4xx and a
+// closed connection — never a crash, never an unbounded buffer, never a
+// half-parsed request acted upon. Also pins keep-alive defaults,
+// pipelining and the serializers the client/server pair rides on.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/http.hpp"
+
+namespace chainnn::net {
+namespace {
+
+HttpParser::Status feed_one(const std::string& wire, HttpRequest* out,
+                            HttpParser* parser) {
+  parser->feed(wire);
+  return parser->next(out);
+}
+
+TEST(HttpParser, ParsesSimpleGet) {
+  HttpParser parser;
+  HttpRequest req;
+  ASSERT_EQ(feed_one("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n", &req,
+                     &parser),
+            HttpParser::Status::kReady);
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.target, "/healthz");
+  EXPECT_EQ(req.version, "HTTP/1.1");
+  ASSERT_NE(req.header("host"), nullptr);  // case-insensitive
+  EXPECT_EQ(*req.header("HOST"), "x");
+  EXPECT_TRUE(req.body.empty());
+  EXPECT_TRUE(req.keep_alive());  // 1.1 default
+}
+
+TEST(HttpParser, ParsesPostWithBodyAcrossFeeds) {
+  HttpParser parser;
+  HttpRequest req;
+  parser.feed("POST /v1/submit HTTP/1.1\r\nContent-Le");
+  EXPECT_EQ(parser.next(&req), HttpParser::Status::kNeedMore);
+  parser.feed("ngth: 11\r\n\r\nhello");
+  EXPECT_EQ(parser.next(&req), HttpParser::Status::kNeedMore);  // truncated
+  EXPECT_TRUE(parser.mid_request());
+  parser.feed(" world");
+  ASSERT_EQ(parser.next(&req), HttpParser::Status::kReady);
+  EXPECT_EQ(req.body, "hello world");
+  EXPECT_FALSE(parser.mid_request());
+}
+
+TEST(HttpParser, PipelinedRequestsComeOutInOrder) {
+  HttpParser parser;
+  HttpRequest req;
+  parser.feed(
+      "GET /a HTTP/1.1\r\n\r\n"
+      "POST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nxy"
+      "GET /c HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(parser.next(&req), HttpParser::Status::kReady);
+  EXPECT_EQ(req.target, "/a");
+  ASSERT_EQ(parser.next(&req), HttpParser::Status::kReady);
+  EXPECT_EQ(req.target, "/b");
+  EXPECT_EQ(req.body, "xy");
+  ASSERT_EQ(parser.next(&req), HttpParser::Status::kReady);
+  EXPECT_EQ(req.target, "/c");
+  EXPECT_EQ(parser.next(&req), HttpParser::Status::kNeedMore);
+}
+
+TEST(HttpParser, LenientLineEndingsStrictEverythingElse) {
+  HttpParser parser;
+  HttpRequest req;
+  ASSERT_EQ(feed_one("GET /x HTTP/1.1\nHost: y\n\n", &req, &parser),
+            HttpParser::Status::kReady);
+  EXPECT_EQ(req.target, "/x");
+  ASSERT_NE(req.header("Host"), nullptr);
+  EXPECT_EQ(*req.header("Host"), "y");
+}
+
+TEST(HttpParser, MalformedRequestLineIs400) {
+  for (const char* wire : {
+           "GARBAGE\r\n\r\n",                        // one token
+           "GET /x\r\n\r\n",                         // missing version
+           "GET /x HTTP/1.1 extra\r\n\r\n",          // four tokens
+           "GET x HTTP/1.1\r\n\r\n",                 // target missing '/'
+           "G@T /x HTTP/1.1\r\n\r\n",                // method not a token
+           "GET /x HTTP/2.0\r\n\r\n",                // unsupported version
+           "GET /x FTP/1.1\r\n\r\n",                 // not HTTP at all
+       }) {
+    HttpParser parser;
+    HttpRequest req;
+    ASSERT_EQ(feed_one(wire, &req, &parser), HttpParser::Status::kError)
+        << wire;
+    EXPECT_EQ(parser.error_status(), 400) << wire;
+    EXPECT_FALSE(parser.error().empty()) << wire;
+    // Poisoned: the connection must close, not resynchronize.
+    EXPECT_EQ(parser.next(&req), HttpParser::Status::kError) << wire;
+  }
+}
+
+TEST(HttpParser, MalformedHeadersAre400) {
+  for (const char* wire : {
+           "GET /x HTTP/1.1\r\nNoColonHere\r\n\r\n",
+           "GET /x HTTP/1.1\r\n: empty-name\r\n\r\n",
+           "GET /x HTTP/1.1\r\nBad Name: v\r\n\r\n",  // space in name
+       }) {
+    HttpParser parser;
+    HttpRequest req;
+    ASSERT_EQ(feed_one(wire, &req, &parser), HttpParser::Status::kError)
+        << wire;
+    EXPECT_EQ(parser.error_status(), 400) << wire;
+  }
+}
+
+TEST(HttpParser, BadContentLengthIs400) {
+  for (const char* cl : {"abc", "-5", "12x", "", "9999999999999999999999"}) {
+    HttpParser parser;
+    HttpRequest req;
+    const std::string wire = std::string("POST /x HTTP/1.1\r\nContent-Length: ") +
+                             cl + "\r\n\r\n";
+    ASSERT_EQ(feed_one(wire, &req, &parser), HttpParser::Status::kError) << cl;
+    EXPECT_EQ(parser.error_status(), 400) << cl;
+  }
+  // Duplicate-but-agreeing lengths are tolerated; conflicting ones not.
+  HttpParser parser;
+  HttpRequest req;
+  ASSERT_EQ(feed_one("POST /x HTTP/1.1\r\nContent-Length: 2\r\n"
+                     "Content-Length: 3\r\n\r\n",
+                     &req, &parser),
+            HttpParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParser, TransferEncodingIs501) {
+  HttpParser parser;
+  HttpRequest req;
+  ASSERT_EQ(feed_one("POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                     &req, &parser),
+            HttpParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(HttpParser, OversizedHeaderBlockIs431) {
+  HttpLimits limits;
+  limits.max_header_bytes = 256;
+  HttpParser parser(limits);
+  HttpRequest req;
+  // Terminated but oversized.
+  std::string wire = "GET /x HTTP/1.1\r\nX-Pad: " + std::string(300, 'a') +
+                     "\r\n\r\n";
+  ASSERT_EQ(feed_one(wire, &req, &parser), HttpParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+
+  // Unterminated and growing: must fail while buffering, not at the
+  // (never-arriving) terminator.
+  HttpParser slow(limits);
+  slow.feed("GET /x HTTP/1.1\r\nX-Pad: " + std::string(300, 'a'));
+  ASSERT_EQ(slow.next(&req), HttpParser::Status::kError);
+  EXPECT_EQ(slow.error_status(), 431);
+}
+
+TEST(HttpParser, OversizedBodyIs413) {
+  HttpLimits limits;
+  limits.max_body_bytes = 64;
+  HttpParser parser(limits);
+  HttpRequest req;
+  ASSERT_EQ(feed_one("POST /x HTTP/1.1\r\nContent-Length: 65\r\n\r\n", &req,
+                     &parser),
+            HttpParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpRequest, KeepAliveDefaultsPerVersion) {
+  HttpParser parser;
+  HttpRequest req;
+  ASSERT_EQ(feed_one("GET /x HTTP/1.1\r\nConnection: close\r\n\r\n", &req,
+                     &parser),
+            HttpParser::Status::kReady);
+  EXPECT_FALSE(req.keep_alive());
+  HttpParser p10;
+  ASSERT_EQ(feed_one("GET /x HTTP/1.0\r\n\r\n", &req, &p10),
+            HttpParser::Status::kReady);
+  EXPECT_FALSE(req.keep_alive());  // 1.0 default: close
+  HttpParser p10ka;
+  ASSERT_EQ(feed_one("GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n",
+                     &req, &p10ka),
+            HttpParser::Status::kReady);
+  EXPECT_TRUE(req.keep_alive());
+}
+
+TEST(HttpSerialize, ResponseRoundTripsThroughResponseHeadParser) {
+  HttpResponse resp;
+  resp.status = 200;
+  resp.body = "{\"x\": 1}";
+  const std::string wire = serialize_response(resp, /*keep_alive=*/true);
+  const std::size_t head_end = wire.find("\r\n\r\n");
+  ASSERT_NE(head_end, std::string::npos);
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string why;
+  ASSERT_TRUE(parse_response_head(wire.substr(0, head_end), &status, &headers,
+                                  &why))
+      << why;
+  EXPECT_EQ(status, 200);
+  bool saw_length = false;
+  for (const auto& [k, v] : headers)
+    if (iequals(k, "Content-Length")) {
+      saw_length = true;
+      EXPECT_EQ(v, std::to_string(resp.body.size()));
+    }
+  EXPECT_TRUE(saw_length);
+  EXPECT_EQ(wire.substr(head_end + 4), resp.body);
+}
+
+TEST(HttpSerialize, RequestParsesBackThroughRequestParser) {
+  HttpRequest req;
+  req.method = "POST";
+  req.target = "/v1/submit";
+  req.headers.emplace_back("Content-Type", "application/json");
+  req.body = "{\"model\": \"lenet\"}";
+  HttpParser parser;
+  HttpRequest back;
+  ASSERT_EQ(feed_one(serialize_request(req), &back, &parser),
+            HttpParser::Status::kReady);
+  EXPECT_EQ(back.method, "POST");
+  EXPECT_EQ(back.target, "/v1/submit");
+  EXPECT_EQ(back.body, req.body);
+}
+
+}  // namespace
+}  // namespace chainnn::net

@@ -424,6 +424,9 @@ TEST(InferenceServer, PreemptionCheckpointsAndResumesBitIdentical) {
   EXPECT_EQ(ur.status, RequestStatus::kOk);
   EXPECT_EQ(vr.preemptions, 1);
   EXPECT_TRUE(vr.resumed);
+  // wall_ms spans every attempt: the pre-preemption slice plus the
+  // resumed run (queue time between them excluded).
+  EXPECT_GT(vr.wall_ms, 0.0);
   EXPECT_FALSE(ur.resumed);
   ASSERT_EQ(completion_order.size(), 2u);
   EXPECT_EQ(completion_order[0], 2);  // the urgent request went first
@@ -488,6 +491,87 @@ TEST(InferenceServer, DeadHigherTierWaiterDoesNotPreempt) {
   EXPECT_EQ(stats.resumes, 0);
   EXPECT_EQ(stats.completed, 1);
   EXPECT_EQ(stats.cancelled, 1);
+}
+
+TEST(InferenceServer, PreemptedThenCancelledAtPickupKeepsAttemptWallTime) {
+  // Regression: a preempted request whose cancel token is set while it
+  // waits to resume is resolved dead-on-arrival at pickup — and used to
+  // report wall_ms = 0, silently dropping the execution time its first
+  // attempt already accumulated. It also re-sampled the clock when
+  // classifying the cancellation, so with a deadline attached the
+  // token-cancel could masquerade as deadline_expired. Pin both fixes.
+  std::promise<void> victim_started;
+  std::promise<void> release_victim;
+  std::shared_future<void> victim_gate = release_victim.get_future().share();
+  std::promise<void> urgent_started;
+  std::promise<void> release_urgent;
+  std::shared_future<void> urgent_gate = release_urgent.get_future().share();
+  std::atomic<bool> victim_gated{false};
+  std::atomic<bool> urgent_gated{false};
+
+  ServerOptions so;
+  so.num_threads = 1;
+  so.enable_preemption = true;
+  InferenceServer server(so);
+  const nn::NetworkModel net = tiny_net();
+
+  RequestOptions victim;  // id 1, tier 0
+  victim.deadline_ms = 60000.0;  // generous: any deadline_expired is a bug
+  victim.cancel = std::make_shared<std::atomic<bool>>(false);
+  victim.weight_init = [&](std::int64_t layer, Tensor<std::int16_t>& k) {
+    if (layer == 0 && !victim_gated.exchange(true)) {
+      victim_started.set_value();
+      victim_gate.wait();
+    }
+    Rng rng(7);
+    k.fill_random(rng, -16, 16);
+  };
+  auto victim_future = server.submit(net, 1, victim);
+  victim_started.get_future().wait();
+
+  RequestOptions urgent;  // id 2, tier 1 — forces the checkpoint
+  urgent.priority = 1;
+  urgent.weight_init = [&](std::int64_t layer, Tensor<std::int16_t>& k) {
+    if (layer == 0 && !urgent_gated.exchange(true)) {
+      urgent_started.set_value();
+      urgent_gate.wait();
+    }
+    Rng rng(7);
+    k.fill_random(rng, -16, 16);
+  };
+  auto urgent_future = server.submit(net, 1, urgent);
+  release_victim.set_value();
+
+  // The urgent request executing proves the victim was checkpointed and
+  // re-enqueued; cancel it *while it waits to resume*, then let the
+  // urgent request finish so the worker reaches the dead checkpoint.
+  urgent_started.get_future().wait();
+  victim.cancel->store(true);
+  release_urgent.set_value();
+
+  const InferenceResult ur = urgent_future.get();
+  const InferenceResult vr = victim_future.get();
+  server.wait_idle();
+
+  EXPECT_EQ(ur.status, RequestStatus::kOk);
+  EXPECT_EQ(ur.preemptions, 0);
+
+  EXPECT_EQ(vr.status, RequestStatus::kCancelled);
+  EXPECT_EQ(vr.preemptions, 1);
+  EXPECT_EQ(vr.completed_layers, 1);  // the checkpointed layer still counts
+  EXPECT_FALSE(vr.resumed);           // the terminal attempt never ran
+  // The fixes under test: the first attempt's execution time survives,
+  // and a token cancellation is never classified as a deadline expiry.
+  EXPECT_GT(vr.wall_ms, 0.0);
+  EXPECT_FALSE(vr.deadline_expired);
+  EXPECT_FALSE(vr.deadline_missed);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.cancelled, 1);
+  EXPECT_EQ(stats.preemptions, 1);
+  EXPECT_EQ(stats.resumes, 0);  // a cancelled checkpoint never resumes
+  EXPECT_EQ(stats.deadline_expired, 0);
 }
 
 TEST(InferenceServer, NoPreemptionAcrossEqualTiers) {

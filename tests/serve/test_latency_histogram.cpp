@@ -1,0 +1,102 @@
+// LatencyHistogram: log-bucket math, quantile error bounds (one bucket
+// ratio, ~19%), overflow/garbage handling, and concurrent recording —
+// the counters feeding the gateway's /metrics must be cheap AND right.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "serve/latency_histogram.hpp"
+
+namespace chainnn::serve {
+namespace {
+
+// One log-bucket step: a reported quantile is the bucket's upper bound,
+// so it can exceed the true value by at most this ratio.
+constexpr double kBucketRatio = 1.1892071150027210667;  // 2^(1/4)
+
+TEST(LatencyHistogram, CountsAndSumAreExact) {
+  LatencyHistogram h;
+  h.record(1.0);
+  h.record(2.0);
+  h.record(3.0);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum_ms, 6.0);
+  // Prometheus consistency: _count equals the sum over buckets.
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : snap.counts) total += c;
+  EXPECT_EQ(total, snap.count);
+}
+
+TEST(LatencyHistogram, QuantilesWithinOneBucketRatio) {
+  LatencyHistogram h;
+  // 1..1000 ms uniform: p50 ~ 500, p99 ~ 990.
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  const auto snap = h.snapshot();
+  EXPECT_GE(snap.p50_ms(), 500.0 / kBucketRatio);
+  EXPECT_LE(snap.p50_ms(), 500.0 * kBucketRatio);
+  EXPECT_GE(snap.p99_ms(), 990.0 / kBucketRatio);
+  EXPECT_LE(snap.p99_ms(), 990.0 * kBucketRatio);
+  // Quantiles are monotone in p.
+  EXPECT_LE(snap.p50_ms(), snap.p99_ms());
+  EXPECT_LE(snap.p99_ms(), snap.p999_ms());
+}
+
+TEST(LatencyHistogram, BucketBoundsAreMonotoneAndCoverTheRange) {
+  double prev = 0.0;
+  for (int i = 0; i < LatencyHistogram::kFiniteBuckets; ++i) {
+    const double upper = LatencyHistogram::bucket_upper_ms(i);
+    EXPECT_GT(upper, prev);
+    prev = upper;
+  }
+  // 96 quarter-octave buckets from 1us: top finite bound >= 10s.
+  EXPECT_GE(prev, 10000.0);
+}
+
+TEST(LatencyHistogram, GarbageAndExtremesDoNotCrashOrLeak) {
+  LatencyHistogram h;
+  h.record(-1.0);               // clamped to the first bucket
+  h.record(0.0);                // below kMinMs
+  h.record(0.0 / 0.0);          // NaN
+  h.record(1e12);               // overflow bucket
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_GT(snap.counts.front(), 0u);  // the tiny/garbage records
+  EXPECT_GT(snap.counts.back(), 0u);   // the overflow record
+  // The overflow bucket reports the last finite bound, not infinity.
+  EXPECT_LE(snap.p999_ms(),
+            LatencyHistogram::bucket_upper_ms(
+                LatencyHistogram::kFiniteBuckets - 1) +
+                1.0);
+}
+
+TEST(LatencyHistogram, EmptySnapshotIsZeroNotUB) {
+  const auto snap = LatencyHistogram().snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.sum_ms, 0.0);
+  EXPECT_DOUBLE_EQ(snap.p50_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.p999_ms(), 0.0);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordsAllLand) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.record(0.5 + static_cast<double>((t * kPerThread + i) % 100));
+    });
+  for (auto& t : threads) t.join();
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : snap.counts) total += c;
+  EXPECT_EQ(total, snap.count);
+}
+
+}  // namespace
+}  // namespace chainnn::serve

@@ -209,6 +209,18 @@ void run_trace_and_assert_invariants(Fleet& fleet,
     const InferenceResult r = futures[i].get();
     const TraceRequest& want = trace[i];
     EXPECT_EQ(r.status, want.expected) << "request " << i;
+    // Exactly one terminal deadline classification per request: a
+    // deadline is either missed (completed late, kOk) or expired
+    // (cancelled in time's stead, kCancelled) — never both, and never
+    // on the wrong status. These invariants pin the single-clock-sample
+    // classification in the server: with independent re-samples at each
+    // decision point, a request near its deadline could flip between
+    // classes between the decision and its recording.
+    EXPECT_FALSE(r.deadline_missed && r.deadline_expired) << "request " << i;
+    if (r.deadline_missed)
+      EXPECT_EQ(r.status, RequestStatus::kOk) << "request " << i;
+    if (r.deadline_expired)
+      EXPECT_EQ(r.status, RequestStatus::kCancelled) << "request " << i;
     switch (r.status) {
       case RequestStatus::kOk: {
         ++observed.ok;
@@ -265,6 +277,10 @@ void run_trace_and_assert_invariants(Fleet& fleet,
   EXPECT_EQ(stats.deadline_expired, tally.expired);
   EXPECT_EQ(stats.rejected, tally.rejected);
   EXPECT_EQ(stats.failed, 0);
+  // The classification subsets hold in aggregate too: expirations are
+  // cancellations, misses are completions.
+  EXPECT_LE(stats.deadline_expired, stats.cancelled);
+  EXPECT_LE(stats.deadline_misses, stats.completed);
   for (const FleetChipStats& chip : stats.chips) {
     EXPECT_EQ(chip.server.completed + chip.server.cancelled +
                   chip.server.failed,
