@@ -32,6 +32,13 @@ against the committed baseline and fails (exit 1) when:
     p99 latency blows past 4x baseline (with an absolute floor
     absorbing scheduler jitter on small runs).
 
+Either file may carry an optional "analyze" stanza (at any nesting
+level) recording static-analysis provenance — compiler, -Wthread-safety
+/ clang-tidy / TSan lane versions — for the run that produced it. The
+stanza is documentation, not a metric: it is stripped before comparison,
+so its presence in only one of the two files never trips the
+section-presence gates and its contents are never diffed.
+
 Prints a markdown delta table to stdout and appends it to
 $GITHUB_STEP_SUMMARY when set. Stdlib only.
 """
@@ -44,6 +51,17 @@ RPS_DROP_TOLERANCE = 0.25  # fail below 75% of baseline
 HIT_RATE_DROP_TOLERANCE = 0.05  # fail below baseline - 5 points
 GATEWAY_P99_TOLERANCE = 4.0  # fail above 4x baseline p99
 GATEWAY_P99_FLOOR_MS = 50.0  # ... but never below this absolute budget
+
+
+def strip_analyze(obj):
+    """Removes every "analyze" provenance stanza, at any depth."""
+    if isinstance(obj, dict):
+        return {
+            k: strip_analyze(v) for k, v in obj.items() if k != "analyze"
+        }
+    if isinstance(obj, list):
+        return [strip_analyze(v) for v in obj]
+    return obj
 
 
 def fmt(value):
@@ -87,9 +105,9 @@ def main(argv):
         print(__doc__, file=sys.stderr)
         return 2
     with open(argv[1]) as f:
-        current = json.load(f)
+        current = strip_analyze(json.load(f))
     with open(argv[2]) as f:
-        baseline = json.load(f)
+        baseline = strip_analyze(json.load(f))
 
     gate = Gate()
     gate.check(

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the project's own sources, in parallel.
+
+Stdlib-only driver around `clang-tidy -p <build-dir>`: reads
+compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS is always ON, see
+the root CMakeLists.txt), keeps the entries under the repo's src/ tree
+(tests and bench binaries are not part of the lint gate; third-party
+GoogleTest sources never are), and fans the files out over a worker
+pool. Exit status is non-zero if any file produced diagnostics —
+.clang-tidy sets WarningsAsErrors: '*', so "has output" and "failed"
+coincide and CI can gate on the exit code alone.
+
+Usage:
+  scripts/run_clang_tidy.py [-p BUILD_DIR] [-j N] [--clang-tidy BIN]
+                            [--filter SUBSTR] [files...]
+
+Explicit file arguments (repo-relative or absolute) restrict the run;
+--filter keeps compile-command entries whose path contains SUBSTR.
+"""
+
+import argparse
+import json
+import multiprocessing
+import os
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def load_sources(build_dir, filt, explicit):
+    """Files from compile_commands.json under src/, deduplicated."""
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        sys.exit(
+            f"error: {db_path} not found — configure the build first "
+            "(cmake -B build -S .)"
+        )
+    with open(db_path, encoding="utf-8") as fh:
+        entries = json.load(fh)
+
+    src_root = os.path.join(REPO_ROOT, "src") + os.sep
+    wanted = {os.path.abspath(p) for p in explicit} if explicit else None
+    files = []
+    for entry in entries:
+        path = os.path.abspath(
+            os.path.join(entry.get("directory", ""), entry["file"])
+        )
+        if not path.startswith(src_root):
+            continue
+        if wanted is not None and path not in wanted:
+            continue
+        if filt and filt not in path:
+            continue
+        if path not in files:
+            files.append(path)
+    return files
+
+
+def run_one(args):
+    tidy, build_dir, path = args
+    proc = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", path],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    # clang-tidy prints "N warnings generated" chatter to stderr even on
+    # clean files; diagnostics proper go to stdout. A non-zero exit with
+    # empty stdout (e.g. a compile-command mismatch) still must fail.
+    output = proc.stdout.strip()
+    if proc.returncode != 0 and not output:
+        output = proc.stderr.strip()
+    return path, proc.returncode, output
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-p", "--build-dir", default="build")
+    parser.add_argument("-j", "--jobs", type=int, default=os.cpu_count() or 1)
+    parser.add_argument("--clang-tidy", default=None)
+    parser.add_argument("--filter", default=None)
+    parser.add_argument("files", nargs="*")
+    args = parser.parse_args()
+
+    tidy = args.clang_tidy or shutil.which("clang-tidy")
+    if not tidy:
+        sys.exit("error: clang-tidy not found on PATH (use --clang-tidy)")
+
+    build_dir = os.path.abspath(args.build_dir)
+    files = load_sources(build_dir, args.filter, args.files)
+    if not files:
+        sys.exit("error: no matching sources in compile_commands.json")
+    print(f"clang-tidy ({tidy}): {len(files)} files, -j{args.jobs}")
+
+    failed = 0
+    jobs = [(tidy, build_dir, path) for path in files]
+    with multiprocessing.Pool(processes=max(1, args.jobs)) as pool:
+        for path, code, output in pool.imap_unordered(run_one, jobs):
+            rel = os.path.relpath(path, REPO_ROOT)
+            if code != 0 or output:
+                failed += 1
+                print(f"FAIL {rel}")
+                if output:
+                    print(output)
+            else:
+                print(f"  ok {rel}")
+
+    if failed:
+        print(f"\n{failed}/{len(files)} files have clang-tidy findings")
+        return 1
+    print(f"\nall {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

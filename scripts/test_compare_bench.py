@@ -174,6 +174,59 @@ class GateTest(unittest.TestCase):
         self.assertIsNot(a["fleet"]["admission"], b["fleet"]["admission"])
         self.assertEqual(a, copy.deepcopy(b))
 
+    def test_analyze_stanza_in_current_only_passes(self):
+        # The static-analysis provenance stanza is documentation, not a
+        # gated section: present only in the current file it must not
+        # trip the presence-xor machinery.
+        current = serve_doc()
+        current["analyze"] = {
+            "compiler": "clang 18",
+            "thread_safety": True,
+            "clang_tidy": "18.1",
+            "tsan": "gcc-13 -fsanitize=thread",
+        }
+        self.assertEqual(self.run_gate(current, serve_doc()), 0)
+
+    def test_analyze_stanza_in_baseline_only_passes(self):
+        baseline = serve_doc()
+        baseline["analyze"] = {"compiler": "clang 18"}
+        self.assertEqual(self.run_gate(serve_doc(), baseline), 0)
+
+    def test_nested_analyze_stanza_is_ignored(self):
+        # Stripping is recursive: sections may carry their own provenance
+        # (e.g. the gateway soak recording which lane produced it), and a
+        # mismatch in those must not be diffed either.
+        current = serve_doc()
+        current["fleet"]["analyze"] = {"lane": "tsan"}
+        current["gateway"]["analyze"] = {"lane": "asan"}
+        self.assertEqual(self.run_gate(current, serve_doc()), 0)
+
+    def test_analyze_stanza_does_not_mask_real_absence(self):
+        # A current file whose gateway section is just provenance-plus-
+        # nothing must still fail the real gates (stripping removes the
+        # stanza, not the section it sits in).
+        current = serve_doc()
+        current["gateway"] = {"analyze": {"lane": "tsan"}}
+        with open(os.devnull, "w") as devnull:
+            saved = sys.stderr
+            sys.stderr = devnull
+            try:
+                with self.assertRaises(KeyError):
+                    # Section present but gutted -> the required metrics
+                    # are genuinely missing, which must not pass silently.
+                    self.run_gate(current, serve_doc())
+            finally:
+                sys.stderr = saved
+
+    def test_strip_analyze_pure(self):
+        doc = serve_doc()
+        doc["analyze"] = {"compiler": "clang"}
+        stripped = compare_bench.strip_analyze(doc)
+        self.assertNotIn("analyze", stripped)
+        self.assertIn("analyze", doc)  # input untouched
+        expected = serve_doc()
+        self.assertEqual(stripped, expected)
+
 
 if __name__ == "__main__":
     unittest.main()

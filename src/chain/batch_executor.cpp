@@ -1,12 +1,11 @@
 #include "chain/batch_executor.hpp"
 
 #include <algorithm>
-#include <condition_variable>
 #include <exception>
-#include <mutex>
 #include <thread>
 
 #include "common/check.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace chainnn::chain {
 
@@ -24,14 +23,15 @@ std::uint64_t mix(std::uint64_t x) {
 }  // namespace
 
 struct BatchExecutor::Pool {
+  // Joined only by the destructor after every worker exited; not guarded.
   std::vector<std::thread> threads;
-  std::mutex mu;
-  std::condition_variable work_ready;
-  std::condition_variable batch_done;
-  std::vector<std::function<void()>>* tasks = nullptr;
-  std::size_t next = 0;
-  std::size_t pending = 0;
-  bool stop = false;
+  Mutex mu;
+  CondVar work_ready;
+  CondVar batch_done;
+  std::vector<std::function<void()>>* tasks CHAINNN_GUARDED_BY(mu) = nullptr;
+  std::size_t next CHAINNN_GUARDED_BY(mu) = 0;
+  std::size_t pending CHAINNN_GUARDED_BY(mu) = 0;
+  bool stop CHAINNN_GUARDED_BY(mu) = false;
 };
 
 BatchExecutor::BatchExecutor(const AcceleratorConfig& accelerator,
@@ -56,7 +56,7 @@ BatchExecutor::BatchExecutor(const AcceleratorConfig& accelerator,
 BatchExecutor::~BatchExecutor() {
   if (!pool_) return;
   {
-    std::lock_guard<std::mutex> lock(pool_->mu);
+    MutexLock lock(pool_->mu);
     pool_->stop = true;
   }
   pool_->work_ready.notify_all();
@@ -71,18 +71,17 @@ Rng& BatchExecutor::worker_rng(std::int64_t w) {
 }
 
 void BatchExecutor::worker_loop() {
-  std::unique_lock<std::mutex> lock(pool_->mu);
+  MutexLock lock(pool_->mu);
   for (;;) {
-    pool_->work_ready.wait(lock, [this] {
-      return pool_->stop ||
-             (pool_->tasks && pool_->next < pool_->tasks->size());
-    });
+    while (!pool_->stop &&
+           !(pool_->tasks && pool_->next < pool_->tasks->size()))
+      pool_->work_ready.wait(pool_->mu);
     if (pool_->stop) return;
     const std::size_t i = pool_->next++;
     auto& task = (*pool_->tasks)[i];
-    lock.unlock();
+    lock.Unlock();
     task();  // tasks capture their own exception state
-    lock.lock();
+    lock.Lock();
     if (--pool_->pending == 0) pool_->batch_done.notify_all();
   }
 }
@@ -92,12 +91,12 @@ void BatchExecutor::run_tasks(std::vector<std::function<void()>>& tasks) {
     for (auto& task : tasks) task();
     return;
   }
-  std::unique_lock<std::mutex> lock(pool_->mu);
+  MutexLock lock(pool_->mu);
   pool_->tasks = &tasks;
   pool_->next = 0;
   pool_->pending = tasks.size();
   pool_->work_ready.notify_all();
-  pool_->batch_done.wait(lock, [this] { return pool_->pending == 0; });
+  while (pool_->pending != 0) pool_->batch_done.wait(pool_->mu);
   pool_->tasks = nullptr;
 }
 

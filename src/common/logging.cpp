@@ -3,11 +3,21 @@
 #include <atomic>
 #include <iostream>
 
+#include "common/thread_annotations.hpp"
+
 namespace chainnn::log {
 
 namespace {
 
 std::atomic<Level> g_level{Level::kInfo};
+
+// Serializes emit(): a single `<<` of one char* is not atomic, so two
+// threads logging at once could interleave mid-line. Level filtering
+// stays lock-free (the atomic above); only the stream write serializes.
+Mutex& emit_mutex() {
+  static Mutex mu;
+  return mu;
+}
 
 const char* level_name(Level lvl) {
   switch (lvl) {
@@ -28,6 +38,7 @@ Level level() { return g_level.load(); }
 
 void emit(Level lvl, const std::string& msg) {
   if (static_cast<int>(lvl) < static_cast<int>(g_level.load())) return;
+  MutexLock lock(emit_mutex());
   std::cerr << "[chain-nn] " << level_name(lvl) << ": " << msg << '\n';
 }
 

@@ -1,0 +1,154 @@
+// Thread-safety annotations — compiler-enforced lock discipline.
+//
+// Wraps Clang's thread-safety attributes (-Wthread-safety) in portable
+// CHAINNN_* macros that expand to nothing on other compilers, plus the
+// three annotated primitives the analysis needs to reason about this
+// codebase: Mutex (a capability), MutexLock (a scoped holder that the
+// analysis tracks across explicit Unlock()/Lock() pairs), and CondVar
+// (waits require the mutex held; the release/reacquire inside wait() is
+// invisible to the analysis, exactly like pthread_cond_wait).
+//
+// The discipline the annotations encode:
+//   * every mutex-protected field is CHAINNN_GUARDED_BY(mu) — reading or
+//     writing it without the mutex is a compile error under clang;
+//   * private helpers that assume the lock are CHAINNN_REQUIRES(mu) —
+//     calling them unlocked is a compile error;
+//   * public entry points that take the lock are left unannotated (they
+//     acquire via MutexLock), or CHAINNN_EXCLUDES(mu) where re-entry
+//     would self-deadlock;
+//   * condition waits are explicit `while (!cond) cv.wait(mu);` loops in
+//     the annotated function body — predicate lambdas would escape the
+//     analysis (a lambda is a separate, unannotated function).
+//
+// Deliberate non-uses: fields synchronized by something other than a
+// mutex (std::atomic counters, data handed off through thread creation
+// or join) are not GUARDED_BY anything — see serve/latency_histogram.hpp
+// for the documented pattern. The wrappers add no behaviour: Mutex is
+// std::mutex, MutexLock is a lock_guard with explicit unlock, CondVar is
+// std::condition_variable; a non-clang build compiles the identical
+// code with the attributes erased.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define CHAINNN_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CHAINNN_THREAD_ANNOTATION(x)
+#endif
+
+// A type that acts as a lock: objects of it appear in the other
+// annotations' capability expressions.
+#define CHAINNN_CAPABILITY(x) CHAINNN_THREAD_ANNOTATION(capability(x))
+// An RAII type whose constructor acquires and destructor releases.
+#define CHAINNN_SCOPED_CAPABILITY CHAINNN_THREAD_ANNOTATION(scoped_lockable)
+
+// Field access requires the given capability held.
+#define CHAINNN_GUARDED_BY(x) CHAINNN_THREAD_ANNOTATION(guarded_by(x))
+// Pointer field: the pointee (not the pointer) is protected.
+#define CHAINNN_PT_GUARDED_BY(x) CHAINNN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// The function may only be called with the capability already held /
+// explicitly not held (the latter catches self-deadlock on re-entry).
+#define CHAINNN_REQUIRES(...) \
+  CHAINNN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define CHAINNN_REQUIRES_SHARED(...) \
+  CHAINNN_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define CHAINNN_EXCLUDES(...) \
+  CHAINNN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// The function acquires / releases the capability (no argument inside a
+// capability or scoped-capability class means `this`).
+#define CHAINNN_ACQUIRE(...) \
+  CHAINNN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define CHAINNN_RELEASE(...) \
+  CHAINNN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define CHAINNN_TRY_ACQUIRE(...) \
+  CHAINNN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Escape hatches: assert the capability is held at runtime boundaries
+// the analysis cannot see, name the capability a getter returns, or turn
+// the analysis off for one function.
+#define CHAINNN_ASSERT_CAPABILITY(x) \
+  CHAINNN_THREAD_ANNOTATION(assert_capability(x))
+#define CHAINNN_RETURN_CAPABILITY(x) CHAINNN_THREAD_ANNOTATION(lock_returned(x))
+#define CHAINNN_NO_THREAD_SAFETY_ANALYSIS \
+  CHAINNN_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace chainnn {
+
+// std::mutex as a capability the analysis can name. libstdc++'s
+// std::mutex carries no attributes, so GUARDED_BY(a raw std::mutex)
+// would be invisible to clang; this wrapper is what makes the analysis
+// bite.
+class CHAINNN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CHAINNN_ACQUIRE() { mu_.lock(); }
+  void unlock() CHAINNN_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() CHAINNN_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// Scoped holder the analysis understands, including the explicit
+// Unlock()/Lock() dance worker loops use to drop the lock around a unit
+// of work. The destructor releases only if currently held.
+class CHAINNN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CHAINNN_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  ~MutexLock() CHAINNN_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() CHAINNN_RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+  void Lock() CHAINNN_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+// Condition variable over Mutex. wait() must be called with the mutex
+// held and returns with it held; like pthread_cond_wait, the internal
+// release/reacquire is deliberately invisible to the analysis. No
+// predicate overloads on purpose: `while (!cond) cv.wait(mu);` keeps the
+// guarded reads of `cond` inside the annotated caller, where the
+// analysis can check them (a predicate lambda would not be).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) CHAINNN_REQUIRES(mu) {
+    std::unique_lock<std::mutex> inner(mu.mu_, std::adopt_lock);
+    cv_.wait(inner);
+    inner.release();
+  }
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace chainnn

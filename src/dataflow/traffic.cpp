@@ -107,7 +107,7 @@ LayerTrafficModel model_traffic(const ExecutionPlan& plan,
   std::uint64_t max_strip_bytes = 0;
   for (const SubConvPlan& sp : plan.subconvs) {
     for (const Strip& strip : sp.strips) {
-      std::int64_t px;
+      std::int64_t px = 0;
       if (opt.count_padding_as_stream)
         px = strip_padded_pixels(layer, sp.sub, strip);
       else if (plan.array.dual_channel)

@@ -80,7 +80,7 @@ Gateway::Gateway(serve::Fleet& fleet, GatewayOptions options)
 GatewayStats Gateway::stats() const {
   GatewayStats out;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     out.submits_ok = submits_ok_;
     out.submits_cancelled = submits_cancelled_;
     out.submits_rejected = submits_rejected_;
@@ -92,7 +92,7 @@ GatewayStats Gateway::stats() const {
 }
 
 serve::LatencyHistogram& Gateway::tier_histogram(std::int32_t priority) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = tiers_[priority];
   if (!slot) slot = std::make_unique<serve::LatencyHistogram>();
   return *slot;
@@ -125,7 +125,7 @@ HttpResponse Gateway::handle(const HttpRequest& request) {
 HttpResponse Gateway::handle_submit(const HttpRequest& request) {
   const auto bad = [this](std::string_view why) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       ++bad_requests_;
     }
     return json_error(400, why);
@@ -216,7 +216,7 @@ HttpResponse Gateway::handle_submit(const HttpRequest& request) {
   // Resolve (and cache) the served model.
   std::shared_ptr<const nn::NetworkModel> model;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto& slot = models_[model_name];
     if (!slot) {
       nn::NetworkModel net = nn::model_by_name(model_name);
@@ -233,7 +233,7 @@ HttpResponse Gateway::handle_submit(const HttpRequest& request) {
     result = fleet_.submit(*model, batch, options).get();
   } catch (const std::exception& e) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       ++submits_failed_;
     }
     return json_error(500, std::string("request failed: ") + e.what());
@@ -241,7 +241,7 @@ HttpResponse Gateway::handle_submit(const HttpRequest& request) {
   const double gateway_ms = ms_since(t0);
   tier_histogram(options.priority).record(gateway_ms);
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     switch (result.status) {
       case serve::RequestStatus::kOk: ++submits_ok_; break;
       case serve::RequestStatus::kCancelled: ++submits_cancelled_; break;
@@ -327,7 +327,7 @@ std::string Gateway::metrics_text() const {
 
   // -- gateway + HTTP front door ------------------------------------------
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     w.family("chainnn_gateway_submits_total", "counter",
              "Resolved /v1/submit requests by outcome.");
     w.sample("chainnn_gateway_submits_total", "outcome=\"ok\"",
@@ -450,7 +450,7 @@ std::string Gateway::metrics_text() const {
   std::vector<std::pair<std::int32_t, serve::LatencyHistogram::Snapshot>>
       tiers;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     tiers.reserve(tiers_.size());
     for (const auto& [priority, hist] : tiers_)
       tiers.emplace_back(priority, hist->snapshot());

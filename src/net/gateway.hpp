@@ -37,9 +37,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/thread_annotations.hpp"
 #include "net/http_server.hpp"
 #include "serve/fleet.hpp"
 #include "serve/latency_histogram.hpp"
@@ -90,16 +90,19 @@ class Gateway {
   serve::Fleet& fleet_;
   GatewayOptions opts_;
 
-  mutable std::mutex mu_;  // guards models_, tiers_, counters below
-  std::map<std::string, std::shared_ptr<const nn::NetworkModel>> models_;
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<const nn::NetworkModel>> models_
+      CHAINNN_GUARDED_BY(mu_);
   // Unique_ptr values: histograms must not move once handed out —
-  // record() runs outside the lock.
-  std::map<std::int32_t, std::unique_ptr<serve::LatencyHistogram>> tiers_;
-  std::int64_t submits_ok_ = 0;
-  std::int64_t submits_cancelled_ = 0;
-  std::int64_t submits_rejected_ = 0;
-  std::int64_t submits_failed_ = 0;
-  std::int64_t bad_requests_ = 0;
+  // record() runs outside the lock (the histogram itself is lock-free,
+  // see serve/latency_histogram.hpp). Only the map is mu_-guarded.
+  std::map<std::int32_t, std::unique_ptr<serve::LatencyHistogram>> tiers_
+      CHAINNN_GUARDED_BY(mu_);
+  std::int64_t submits_ok_ CHAINNN_GUARDED_BY(mu_) = 0;
+  std::int64_t submits_cancelled_ CHAINNN_GUARDED_BY(mu_) = 0;
+  std::int64_t submits_rejected_ CHAINNN_GUARDED_BY(mu_) = 0;
+  std::int64_t submits_failed_ CHAINNN_GUARDED_BY(mu_) = 0;
+  std::int64_t bad_requests_ CHAINNN_GUARDED_BY(mu_) = 0;
 
   std::unique_ptr<HttpServer> server_;  // last: stops before members die
 };

@@ -145,7 +145,7 @@ HttpParser::Status HttpParser::next(HttpRequest* out) {
   // Locate the end of the header block. Both CRLFCRLF and bare LFLF are
   // accepted (lenient in line endings, strict in everything else).
   std::size_t head_end = buffer_.find("\r\n\r\n");
-  std::size_t body_start;
+  std::size_t body_start = 0;
   if (head_end != std::string::npos) {
     body_start = head_end + 4;
   } else {

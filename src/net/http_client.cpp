@@ -9,12 +9,18 @@
 
 #include <cerrno>
 #include <charconv>
-#include <cstring>
+#include <system_error>
 #include <utility>
 
 namespace chainnn::net {
 
 namespace {
+
+// Thread-safe errno rendering: std::strerror writes a shared static
+// buffer (concurrency-mt-unsafe), so format through std::error_code.
+std::string errno_message() {
+  return std::error_code(errno, std::generic_category()).message();
+}
 
 bool send_all(int fd, std::string_view data) {
   while (!data.empty()) {
@@ -73,7 +79,7 @@ bool HttpClient::fail(std::string why) {
 bool HttpClient::ensure_connected() {
   if (fd_ >= 0) return true;
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) return fail(std::string("socket(): ") + std::strerror(errno));
+  if (fd_ < 0) return fail(std::string("socket(): ") + errno_message());
 
   // Request/response bodies are small; latency matters more than
   // coalescing for the soak's p99 measurements.
@@ -88,7 +94,7 @@ bool HttpClient::ensure_connected() {
   if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0)
     return fail("connect(" + host_ + ":" + std::to_string(port_) +
-                "): " + std::strerror(errno));
+                "): " + errno_message());
   rx_.clear();
   return true;
 }
@@ -96,7 +102,7 @@ bool HttpClient::ensure_connected() {
 bool HttpClient::request(const HttpRequest& req, HttpResponse* resp) {
   if (!ensure_connected()) return false;
   if (!send_all(fd_, serialize_request(req)))
-    return fail(std::string("send(): ") + std::strerror(errno));
+    return fail(std::string("send(): ") + errno_message());
   return read_response(resp);
 }
 
@@ -127,7 +133,7 @@ bool HttpClient::read_response(HttpResponse* resp) {
   const auto read_more = [&]() -> bool {
     pollfd pfd{fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, timeout_ms);
-    if (ready < 0) return fail(std::string("poll(): ") + std::strerror(errno));
+    if (ready < 0) return fail(std::string("poll(): ") + errno_message());
     if (ready == 0)
       return fail("timed out after " + std::to_string(timeout_s_) +
                   "s waiting for response");
@@ -135,7 +141,7 @@ bool HttpClient::read_response(HttpResponse* resp) {
     if (n == 0) return fail("server closed connection mid-response");
     if (n < 0) {
       if (errno == EINTR) return true;
-      return fail(std::string("recv(): ") + std::strerror(errno));
+      return fail(std::string("recv(): ") + errno_message());
     }
     rx_.append(buf, static_cast<std::size_t>(n));
     return true;

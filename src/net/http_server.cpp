@@ -8,8 +8,8 @@
 
 #include <cerrno>
 #include <chrono>
-#include <cstring>
 #include <stdexcept>
+#include <system_error>
 #include <utility>
 #include <vector>
 
@@ -46,8 +46,11 @@ HttpResponse error_response(int status, std::string_view message) {
   return resp;
 }
 
+// std::error_code::message() over std::strerror: strerror writes a
+// shared static buffer, which concurrency-mt-unsafe rightly flags.
 [[noreturn]] void throw_errno(const std::string& what) {
-  throw std::runtime_error(what + ": " + std::strerror(errno));
+  throw std::runtime_error(
+      what + ": " + std::error_code(errno, std::generic_category()).message());
 }
 
 }  // namespace
@@ -103,7 +106,7 @@ HttpServer::HttpServer(HttpServerOptions options, HttpHandler handler)
 HttpServer::~HttpServer() { stop(); }
 
 HttpServerStats HttpServer::stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
@@ -117,7 +120,7 @@ void HttpServer::accept_loop() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
 
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_.load(std::memory_order_relaxed)) {
       ::close(fd);
       break;
@@ -173,7 +176,7 @@ void HttpServer::connection_loop(std::list<Connection>::iterator self) {
       if (status == HttpParser::Status::kNeedMore) break;
       if (status == HttpParser::Status::kError) {
         {
-          std::lock_guard lock(mu_);
+          MutexLock lock(mu_);
           ++stats_.parse_errors;
         }
         send_all(fd, serialize_response(
@@ -184,7 +187,7 @@ void HttpServer::connection_loop(std::list<Connection>::iterator self) {
       }
 
       {
-        std::lock_guard lock(mu_);
+        MutexLock lock(mu_);
         ++stats_.requests;
       }
       HttpResponse response;
@@ -196,7 +199,7 @@ void HttpServer::connection_loop(std::list<Connection>::iterator self) {
         response = error_response(500, "unhandled exception");
       }
       if (response.status >= 500) {
-        std::lock_guard lock(mu_);
+        MutexLock lock(mu_);
         ++stats_.responses_5xx;
       }
       const bool keep_alive = request.keep_alive();
@@ -213,7 +216,7 @@ void HttpServer::connection_loop(std::list<Connection>::iterator self) {
 
   // Close and deregister atomically: stop() shuts down fds of entries
   // still in connections_, so the fd must not be recycled while listed.
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ::close(fd);
   reaped_.push_back(std::move(self->thread));
   connections_.erase(self);
@@ -222,7 +225,7 @@ void HttpServer::connection_loop(std::list<Connection>::iterator self) {
 void HttpServer::reap_finished() {
   std::vector<std::thread> done;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     done.swap(reaped_);
   }
   for (std::thread& t : done) t.join();
@@ -239,7 +242,7 @@ void HttpServer::stop() {
     std::vector<std::thread> done;
     bool drained = false;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       for (Connection& c : connections_) ::shutdown(c.fd, SHUT_RDWR);
       done.swap(reaped_);
       drained = connections_.empty();

@@ -25,10 +25,11 @@
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "net/http.hpp"
 
 namespace chainnn::net {
@@ -87,10 +88,14 @@ class HttpServer {
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
 
-  mutable std::mutex mu_;  // guards connections_, reaped_, stats_
-  std::list<Connection> connections_;
-  std::vector<std::thread> reaped_;
-  HttpServerStats stats_;
+  mutable Mutex mu_;
+  // A connection thread reads its own entry's fd through the iterator it
+  // was handed; that read is ordered by thread creation, not by mu_ (the
+  // entry is fully initialised before the thread exists). The list
+  // structure itself — insertion, erasure, iteration — is mu_-guarded.
+  std::list<Connection> connections_ CHAINNN_GUARDED_BY(mu_);
+  std::vector<std::thread> reaped_ CHAINNN_GUARDED_BY(mu_);
+  HttpServerStats stats_ CHAINNN_GUARDED_BY(mu_);
 };
 
 }  // namespace chainnn::net

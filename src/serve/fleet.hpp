@@ -150,6 +150,13 @@ class Fleet {
   [[nodiscard]] std::optional<std::future<InferenceResult>> try_reject(
       const RouteDecision& decision);
 
+  // Concurrency contract: Fleet itself holds no mutex. Every mutable
+  // member is either written once in the constructor and read-only
+  // afterwards (opts_, cache_, router_, servers_ — the pointers, not the
+  // pointees, which synchronize internally; see Router and
+  // InferenceServer), or a lone atomic counter (rejected_). That is why
+  // nothing here is CHAINNN_GUARDED_BY anything — there is no capability
+  // to name, and the thread-safety analysis has nothing to check.
   FleetOptions opts_;
   std::shared_ptr<PlanCache> cache_;
   std::atomic<std::int64_t> rejected_{0};

@@ -2,9 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <exception>
-#include <mutex>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -12,6 +10,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace chainnn::serve {
 
@@ -95,23 +94,26 @@ struct InferenceServer::Task {
 };
 
 struct InferenceServer::State {
-  mutable std::mutex mu;
-  std::condition_variable work_ready;   // queue gained a task / stopping
-  std::condition_variable space_ready;  // queue dropped below max_queue
-  std::condition_variable idle;         // completed caught up to submitted
-  std::vector<Task> queue;  // heap ordered by Task::scheduled_after
+  mutable Mutex mu;
+  CondVar work_ready;   // queue gained a task / stopping
+  CondVar space_ready;  // queue dropped below max_queue
+  CondVar idle;         // completed caught up to submitted
+  // Heap ordered by Task::scheduled_after.
+  std::vector<Task> queue CHAINNN_GUARDED_BY(mu);
+  // Joined only by the destructor, after every worker has exited; never
+  // touched concurrently, so not guarded.
   std::vector<std::thread> threads;
-  bool stop = false;
+  bool stop CHAINNN_GUARDED_BY(mu) = false;
 
-  std::int64_t next_id = 0;
-  std::int64_t in_flight = 0;
+  std::int64_t next_id CHAINNN_GUARDED_BY(mu) = 0;
+  std::int64_t in_flight CHAINNN_GUARDED_BY(mu) = 0;
   // Workers that have committed to yield (preempt_check returned true)
   // but have not yet re-enqueued their checkpointed task. Caps
   // simultaneous yields at the number of waiting higher-tier tasks, so
   // one urgent arrival cannot stampede every busy worker into a
   // checkpoint it will immediately resume.
-  std::int64_t yielding = 0;
-  ServerStats stats;  // plan_cache filled on read
+  std::int64_t yielding CHAINNN_GUARDED_BY(mu) = 0;
+  ServerStats stats CHAINNN_GUARDED_BY(mu);  // plan_cache filled on read
 };
 
 InferenceServer::InferenceServer(ServerOptions options)
@@ -129,7 +131,7 @@ InferenceServer::InferenceServer(ServerOptions options)
 
 InferenceServer::~InferenceServer() {
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     state_->stop = true;
   }
   state_->work_ready.notify_all();
@@ -181,7 +183,7 @@ std::future<InferenceResult> InferenceServer::submit(
 }
 
 std::int64_t InferenceServer::allocate_id() {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   return ++state_->next_id;
 }
 
@@ -193,34 +195,35 @@ std::future<InferenceResult> InferenceServer::enqueue(Task&& task) {
                             std::chrono::duration<double, std::milli>(
                                 *task.options.deadline_ms));
   std::future<InferenceResult> future = task.promise.get_future();
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->space_ready.wait(lock, [this] {
-    return static_cast<std::int64_t>(state_->queue.size()) <
-           opts_.max_queue;
-  });
-  ++state_->stats.submitted;
-  state_->queue.push_back(std::move(task));
-  std::push_heap(state_->queue.begin(), state_->queue.end(),
-                 Task::scheduled_after);
-  state_->stats.peak_queue_depth =
-      std::max(state_->stats.peak_queue_depth,
-               static_cast<std::int64_t>(state_->queue.size()));
-  lock.unlock();
+  {
+    MutexLock lock(state_->mu);
+    // Explicit wait loop (not a predicate lambda) so the guarded reads
+    // stay inside this annotated function body.
+    while (static_cast<std::int64_t>(state_->queue.size()) >=
+           opts_.max_queue)
+      state_->space_ready.wait(state_->mu);
+    ++state_->stats.submitted;
+    state_->queue.push_back(std::move(task));
+    std::push_heap(state_->queue.begin(), state_->queue.end(),
+                   Task::scheduled_after);
+    state_->stats.peak_queue_depth =
+        std::max(state_->stats.peak_queue_depth,
+                 static_cast<std::int64_t>(state_->queue.size()));
+  }
   state_->work_ready.notify_one();
   return future;
 }
 
 void InferenceServer::wait_idle() {
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->idle.wait(lock, [this] {
-    return state_->queue.empty() && state_->in_flight == 0;
-  });
+  MutexLock lock(state_->mu);
+  while (!(state_->queue.empty() && state_->in_flight == 0))
+    state_->idle.wait(state_->mu);
 }
 
 ServerStats InferenceServer::stats() const {
   ServerStats s;
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     s = state_->stats;
   }
   s.plan_cache = cache_->stats();
@@ -301,7 +304,7 @@ std::optional<InferenceResult> InferenceServer::execute_request(Task& task) {
   std::function<bool()> preempt_check;
   if (opts_.enable_preemption)
     preempt_check = [this, pri = task.options.priority] {
-      std::lock_guard<std::mutex> lock(state_->mu);
+      MutexLock lock(state_->mu);
       // Fast path: the heap front is the highest-priority waiter, so a
       // front at or below this tier means nothing could preempt.
       if (state_->queue.empty() ||
@@ -347,7 +350,7 @@ std::optional<InferenceResult> InferenceServer::execute_request(Task& task) {
     // throwing preemption_hook cannot leak the counter and silently
     // disable preemption for the rest of the server's life.
     {
-      std::lock_guard<std::mutex> lock(state_->mu);
+      MutexLock lock(state_->mu);
       --state_->yielding;
     }
     // This attempt's execution time must survive the re-enqueue, or the
@@ -398,11 +401,10 @@ std::optional<InferenceResult> InferenceServer::execute_request(Task& task) {
 }
 
 void InferenceServer::worker_loop() {
-  std::unique_lock<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   for (;;) {
-    state_->work_ready.wait(lock, [this] {
-      return state_->stop || !state_->queue.empty();
-    });
+    while (!state_->stop && state_->queue.empty())
+      state_->work_ready.wait(state_->mu);
     // Drain-then-stop: pending requests still execute after stop so
     // their futures always resolve.
     if (state_->queue.empty()) {
@@ -414,7 +416,7 @@ void InferenceServer::worker_loop() {
     Task task = std::move(state_->queue.back());
     state_->queue.pop_back();
     ++state_->in_flight;
-    lock.unlock();
+    lock.Unlock();
     state_->space_ready.notify_one();
 
     // A request already past its deadline (or cancelled) when it reaches
@@ -469,7 +471,7 @@ void InferenceServer::worker_loop() {
       }
     }
 
-    lock.lock();
+    lock.Lock();
     if (is_resume) ++state_->stats.resumes;
     if (preempted) {
       // Give the checkpointed request its queue slot back (bypassing
@@ -508,7 +510,7 @@ void InferenceServer::worker_loop() {
         if (result.fidelity.diverged) ++state_->stats.fidelity_divergences;
       }
     }
-    lock.unlock();
+    lock.Unlock();
     // Fulfill outside the lock: future continuations must not run under
     // the server mutex. The hook runs *before* the promise resolves, so
     // by the time a caller observes the result the routed backlog has
@@ -537,7 +539,7 @@ void InferenceServer::worker_loop() {
     // The request only stops counting as in-flight once its hook has run
     // and its future resolved, so wait_idle() => every hook has fired
     // (the Fleet relies on this to read fully-retired backlogs).
-    lock.lock();
+    lock.Lock();
     --state_->in_flight;
     if (state_->queue.empty() && state_->in_flight == 0)
       state_->idle.notify_all();

@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "chain/network_runner.hpp"
+#include "common/thread_annotations.hpp"
 #include "energy/energy_model.hpp"
 #include "nn/models.hpp"
 #include "serve/plan_cache.hpp"

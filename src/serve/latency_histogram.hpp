@@ -13,6 +13,16 @@
 // bucket is the +Inf overflow. quantile() returns the upper bound of the
 // bucket containing the requested rank — a conservative (never
 // under-reported) figure, which is the right bias for a latency gate.
+//
+// Thread-safety-annotation exception (documented in README "Static
+// analysis & concurrency discipline"): this class deliberately carries
+// no CHAINNN_GUARDED_BY annotations. Its counters are synchronized by
+// std::atomic with relaxed ordering, not by a mutex, so there is no
+// capability for the analysis to track. The relaxed ordering is sound
+// here because the counters are independent monotone totals: a snapshot
+// may be torn *across* counters (count vs sum sampled an increment
+// apart) but never within one, and the quantile math tolerates that by
+// design. TSan agrees: atomics are not data races.
 #pragma once
 
 #include <array>

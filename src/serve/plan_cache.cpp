@@ -47,7 +47,7 @@ std::shared_ptr<const dataflow::ExecutionPlan> PlanCache::shared_plan_for(
 
   std::shared_ptr<const dataflow::ExecutionPlan> entry;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = map_.find(key);
     if (it != map_.end()) {
       entry = it->second.plan;
@@ -64,7 +64,7 @@ std::shared_ptr<const dataflow::ExecutionPlan> PlanCache::shared_plan_for(
     auto fresh = std::make_shared<dataflow::ExecutionPlan>(
         dataflow::plan_layer(layer, array, memory));
     const std::uint64_t fresh_bytes = plan_footprint_bytes(*fresh);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto [it, inserted] = map_.try_emplace(key);
     if (inserted) {
       lru_.push_front(key);
@@ -99,17 +99,17 @@ dataflow::ExecutionPlan PlanCache::plan_for(const nn::ConvLayerParams& layer,
 }
 
 PlanCacheStats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return {hits_, misses_, map_.size(), evictions_, bytes_};
 }
 
 std::uint64_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return map_.size();
 }
 
 void PlanCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   map_.clear();
   lru_.clear();
   bytes_ = 0;

@@ -26,9 +26,9 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/thread_annotations.hpp"
 #include "dataflow/plan.hpp"
 
 namespace chainnn::serve {
@@ -112,18 +112,18 @@ class PlanCache {
     std::list<dataflow::PlanKey>::iterator lru;  // position in lru_
   };
 
-  // Both require mu_ held.
-  void touch(Entry& entry);
-  void evict_to_budget();
+  void touch(Entry& entry) CHAINNN_REQUIRES(mu_);
+  void evict_to_budget() CHAINNN_REQUIRES(mu_);
 
   PlanCacheOptions opts_;
-  mutable std::mutex mu_;
-  std::unordered_map<dataflow::PlanKey, Entry, dataflow::PlanKeyHash> map_;
-  std::list<dataflow::PlanKey> lru_;  // front = most recently used
-  std::uint64_t bytes_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<dataflow::PlanKey, Entry, dataflow::PlanKeyHash> map_
+      CHAINNN_GUARDED_BY(mu_);
+  std::list<dataflow::PlanKey> lru_ CHAINNN_GUARDED_BY(mu_);  // front = MRU
+  std::uint64_t bytes_ CHAINNN_GUARDED_BY(mu_) = 0;
+  std::uint64_t hits_ CHAINNN_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ CHAINNN_GUARDED_BY(mu_) = 0;
+  std::uint64_t evictions_ CHAINNN_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace chainnn::serve

@@ -165,7 +165,7 @@ RouteDecision Router::route(
     const std::optional<dataflow::ArrayShape>& array_override) const {
   const Estimates est = estimate_all(net, batch, in_height, in_width,
                                      inter_layer, array_override);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return pick_locked(est);
 }
 
@@ -177,7 +177,7 @@ RouteDecision Router::route_and_dispatch(
     const std::optional<double>& admission_deadline_s) {
   const Estimates est = estimate_all(net, batch, in_height, in_width,
                                      inter_layer, array_override);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   RouteDecision decision = pick_locked(est);
   if (admission_deadline_s) {
     const dataflow::ArrayShape& array =
@@ -200,7 +200,7 @@ RouteDecision Router::route_and_dispatch(
 void Router::dispatch(const RouteDecision& decision) {
   CHAINNN_CHECK_MSG(decision.chip < chips_.size(),
                     "chip " << decision.chip << " out of range");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   backlog_[decision.chip] += decision.request_seconds;
   dispatched_[decision.chip] += decision.request_seconds;
   ++routed_[decision.chip];
@@ -209,7 +209,7 @@ void Router::dispatch(const RouteDecision& decision) {
 void Router::retract(const RouteDecision& decision) {
   CHAINNN_CHECK_MSG(decision.chip < chips_.size(),
                     "chip " << decision.chip << " out of range");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   backlog_[decision.chip] -= decision.request_seconds;
   if (backlog_[decision.chip] < 0.0) backlog_[decision.chip] = 0.0;
   dispatched_[decision.chip] -= decision.request_seconds;
@@ -219,23 +219,23 @@ void Router::retract(const RouteDecision& decision) {
 
 void Router::complete(std::size_t chip, double request_seconds) {
   CHAINNN_CHECK_MSG(chip < chips_.size(), "chip " << chip << " out of range");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   backlog_[chip] -= request_seconds;
   if (backlog_[chip] < 0.0) backlog_[chip] = 0.0;  // float dust
 }
 
 std::vector<double> Router::backlog_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return backlog_;
 }
 
 std::vector<std::int64_t> Router::routed_counts() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return routed_;
 }
 
 std::vector<double> Router::dispatched_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dispatched_;
 }
 

@@ -20,12 +20,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "chain/network_runner.hpp"
+#include "common/thread_annotations.hpp"
 #include "mem/hierarchy.hpp"
 #include "nn/models.hpp"
 #include "serve/plan_cache.hpp"
@@ -156,15 +156,16 @@ class Router {
       std::size_t chip, const std::vector<nn::ConvLayerParams>& layers,
       std::int64_t batch,
       const std::optional<dataflow::ArrayShape>& array_override) const;
-  // Picks the earliest finish over backlog_; requires mu_ held.
-  [[nodiscard]] RouteDecision pick_locked(const Estimates& est) const;
+  // Picks the earliest finish over backlog_.
+  [[nodiscard]] RouteDecision pick_locked(const Estimates& est) const
+      CHAINNN_REQUIRES(mu_);
 
   std::vector<ChipSpec> chips_;
   std::shared_ptr<PlanCache> cache_;
-  mutable std::mutex mu_;  // guards the three vectors below
-  std::vector<double> backlog_;
-  std::vector<double> dispatched_;
-  std::vector<std::int64_t> routed_;
+  mutable Mutex mu_;
+  std::vector<double> backlog_ CHAINNN_GUARDED_BY(mu_);
+  std::vector<double> dispatched_ CHAINNN_GUARDED_BY(mu_);
+  std::vector<std::int64_t> routed_ CHAINNN_GUARDED_BY(mu_);
 };
 
 }  // namespace chainnn::serve
