@@ -16,7 +16,11 @@
 // every request cross-checked), and emits one machine-readable JSON
 // object (requests/sec analytical vs cycle-accurate, plan-cache hit
 // rate, fidelity counters) to stdout and to --json, seeding the serving
-// perf trajectory in CI.
+// perf trajectory in CI. The same JSON always carries a "kernel"
+// section: GMAC/s of the exact scalar MAC reference vs the analytical
+// engine's dispatcher over the VGG-16 channel-reduced proxy layers
+// (--kernel-scale), with the saturation-free fast-path dispatch rate —
+// the figure compare_bench.py gates per CHAINNN_SIMD lane.
 //
 // Fleet mode: `--fleet [--fleet-requests 24] [--fleet-threads 1]
 // [--fleet-fidelity-every 6]` additionally drives a mixed
@@ -44,6 +48,7 @@
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "fixed/quantize.hpp"
+#include "nn/conv_kernel.hpp"
 #include "nn/golden.hpp"
 #include "nn/models.hpp"
 #include "serve/fleet.hpp"
@@ -233,6 +238,68 @@ double time_requests(serve::InferenceServer& server,
   return secs == 0.0 ? 0.0 : static_cast<double>(count) / secs;
 }
 
+// MAC-kernel phase: GMAC/s of the exact scalar sticky-clamp reference
+// vs the analytical engine's dispatcher (vectorized saturation-free
+// fast path when the build enables CHAINNN_SIMD) over the VGG-16
+// channel-reduced proxy layers, plus the fast-path dispatch rate.
+// Appends `"kernel": {...}` to `json`; returns false if the dispatcher
+// is not bit-identical to the scalar reference on any layer.
+bool run_kernel_phase(const CliFlags& flags, std::ostringstream& json) {
+  const std::int64_t scale =
+      std::max<std::int64_t>(1, flags.get_int("kernel-scale"));
+  const nn::NetworkModel net =
+      serve::channel_reduced_proxy(nn::vgg16(), scale);
+  Rng rng(11);
+  double scalar_seconds = 0.0;
+  double dispatch_seconds = 0.0;
+  std::int64_t macs = 0;
+  std::int64_t fast_dispatches = 0;
+  std::int64_t data_scans = 0;
+  bool identical = true;
+  for (const nn::ConvLayerParams& p : net.conv_layers) {
+    Tensor<std::int16_t> x(Shape{1, p.in_channels, p.in_height, p.in_width});
+    Tensor<std::int16_t> w(
+        Shape{p.out_channels, p.in_channels / p.groups, p.kernel, p.kernel});
+    x.fill_random(rng, -64, 64);
+    w.fill_random(rng, -16, 16);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const Tensor<std::int64_t> ref = nn::conv2d_fixed_accum(p, x, w);
+    const auto t1 = std::chrono::steady_clock::now();
+    nn::ConvDispatch d;
+    const Tensor<std::int64_t> got =
+        nn::conv2d_fixed_accum_dispatch(p, x, w, &d);
+    const auto t2 = std::chrono::steady_clock::now();
+
+    scalar_seconds += std::chrono::duration<double>(t1 - t0).count();
+    dispatch_seconds += std::chrono::duration<double>(t2 - t1).count();
+    macs += p.macs_per_image();
+    if (d.fast) ++fast_dispatches;
+    if (d.data_scanned) ++data_scans;
+    identical = identical && ref == got;
+  }
+  const auto gmacs = [macs](double seconds) {
+    return seconds == 0.0 ? 0.0 : static_cast<double>(macs) / seconds / 1e9;
+  };
+  const double scalar_gmacs = gmacs(scalar_seconds);
+  const double dispatch_gmacs = gmacs(dispatch_seconds);
+  const std::int64_t layers =
+      static_cast<std::int64_t>(net.conv_layers.size());
+  json << ", \"kernel\": {\"model\": \"" << net.name
+       << "\", \"layers\": " << layers << ", \"macs\": " << macs
+       << ", \"simd_enabled\": "
+       << (nn::simd_kernel_enabled() ? "true" : "false")
+       << ", \"scalar_gmacs\": " << scalar_gmacs
+       << ", \"dispatch_gmacs\": " << dispatch_gmacs
+       << ", \"speedup\": "
+       << (scalar_gmacs == 0.0 ? 0.0 : dispatch_gmacs / scalar_gmacs)
+       << ", \"fast_dispatches\": " << fast_dispatches
+       << ", \"data_scans\": " << data_scans << ", \"dispatch_rate\": "
+       << static_cast<double>(fast_dispatches) / static_cast<double>(layers)
+       << ", \"bit_identical\": " << (identical ? "true" : "false") << "}";
+  return identical;
+}
+
 // Admission-control A/B: the same deadline-laden trace (a few normal
 // requests plus `doomed` requests whose microscopic deadlines no chip
 // can meet) replayed on two fresh fleets — admission off, then on.
@@ -413,7 +480,8 @@ int run_serve_bench(int argc, const char* const* argv) {
       {"serve-scale", "2"},      {"serve-batch", "2"},
       {"fidelity-every", "4"},   {"json", "BENCH_serve.json"},
       {"fleet", "false"},        {"fleet-requests", "24"},
-      {"fleet-threads", "1"},    {"fleet-fidelity-every", "6"}};
+      {"fleet-threads", "1"},    {"fleet-fidelity-every", "6"},
+      {"kernel-scale", "8"}};
   std::string error;
   if (!flags.parse(argc, argv, defaults, &error)) {
     std::cerr << "bench_micro serve mode: " << error << "\n"
@@ -498,6 +566,7 @@ int run_serve_bench(int argc, const char* const* argv) {
        << ", \"failed\": " << stats.failed;
   bool fleet_ok = true;
   if (flags.get_bool("fleet")) fleet_ok = run_fleet_phase(flags, json);
+  const bool kernel_ok = run_kernel_phase(flags, json);
   json << "}";
   std::cout << json.str() << "\n";
 
@@ -511,9 +580,13 @@ int run_serve_bench(int argc, const char* const* argv) {
     out << json.str() << "\n";
   }
   // The serving bench doubles as a smoke check: every request must
-  // complete, every fidelity sample must cross-check clean, and the
-  // routed fleet must beat the best single chip in modelled throughput.
-  return stats.failed == 0 && fidelity_divergences == 0 && fleet_ok ? 0 : 2;
+  // complete, every fidelity sample must cross-check clean, the routed
+  // fleet must beat the best single chip in modelled throughput, and the
+  // kernel dispatcher must stay bit-identical to the scalar reference.
+  return stats.failed == 0 && fidelity_divergences == 0 && fleet_ok &&
+                 kernel_ok
+             ? 0
+             : 2;
 }
 
 }  // namespace

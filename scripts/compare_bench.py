@@ -25,6 +25,12 @@ against the committed baseline and fails (exit 1) when:
     anything — or stops rejecting exactly the trace's
     deliberately-infeasible requests (deterministic: their modelled
     chain seconds alone exceed the microscopic deadlines);
+  * the kernel section (when present in both files) reports a
+    dispatcher that is not bit-identical to the scalar MAC reference, or
+    — on a CHAINNN_SIMD build — a fast-path dispatch rate of zero or
+    SIMD throughput below the scalar reference (the vectorized path must
+    never lose to the code it replaces; a scalar-only build skips the
+    two SIMD gates since its dispatcher IS the scalar reference);
   * the gateway soak section (when present in both files, emitted by
     bench_soak) shows any client transport error, HTTP 5xx, server-side
     parse error or wire-vs-direct digest mismatch, loses a request
@@ -190,6 +196,30 @@ def main(argv):
     elif (fleet is None) != (fleet_base is None):
         gate.check("fleet section", fleet_base is not None, fleet is not None,
                    False, "present in both current and baseline")
+
+    kernel = current.get("kernel")
+    kernel_base = baseline.get("kernel")
+    if kernel is not None and kernel_base is not None:
+        gate.check("kernel.bit_identical", True, kernel["bit_identical"],
+                   kernel["bit_identical"] is True,
+                   "dispatcher bit-identical to the scalar reference")
+        if kernel["simd_enabled"]:
+            gate.check("kernel.dispatch_rate",
+                       kernel_base["dispatch_rate"],
+                       kernel["dispatch_rate"],
+                       kernel["dispatch_rate"] > 0.0,
+                       "> 0 (SIMD build must take the fast path)")
+            gate.check(
+                "kernel.dispatch_gmacs",
+                kernel_base["scalar_gmacs"],
+                kernel["dispatch_gmacs"],
+                kernel["dispatch_gmacs"] >= kernel["scalar_gmacs"],
+                ">= this run's scalar_gmacs (SIMD never loses to scalar)",
+            )
+    elif (kernel is None) != (kernel_base is None):
+        gate.check("kernel section", kernel_base is not None,
+                   kernel is not None, False,
+                   "present in both current and baseline")
 
     gw = current.get("gateway")
     gw_base = baseline.get("gateway")

@@ -8,7 +8,10 @@ Pins the gate semantics that have actually bitten:
     run (the better the scheduler got, the redder CI turned);
   * admission that rejected work but still missed deadlines must fail;
   * the gateway section's zero-error and p99 gates, and the
-    present-in-one-file-only failure mode shared with the fleet section.
+    present-in-one-file-only failure mode shared with the fleet section;
+  * the kernel section's SIMD-vs-scalar gates, including the
+    CHAINNN_SIMD=OFF lane where the dispatcher IS the scalar reference
+    and the SIMD-only gates must not fire.
 """
 
 import copy
@@ -42,6 +45,19 @@ def serve_doc():
                 "rejected": 3,
                 "failed": 0,
             },
+        },
+        "kernel": {
+            "model": "vgg16/8",
+            "layers": 13,
+            "macs": 250000000,
+            "simd_enabled": True,
+            "scalar_gmacs": 0.2,
+            "dispatch_gmacs": 0.8,
+            "speedup": 4.0,
+            "fast_dispatches": 13,
+            "data_scans": 0,
+            "dispatch_rate": 1.0,
+            "bit_identical": True,
         },
         "gateway": {
             "connections": 128,
@@ -151,6 +167,41 @@ class GateTest(unittest.TestCase):
         baseline = serve_doc()
         baseline["gateway"]["p99_ms"] = 10.0  # 4x => 40ms < 50ms floor
         self.assertEqual(self.run_gate(current, baseline), 1)
+
+    def test_kernel_bit_identity_loss_fails(self):
+        current = serve_doc()
+        current["kernel"]["bit_identical"] = False
+        self.assertEqual(self.run_gate(current, serve_doc()), 1)
+
+    def test_kernel_simd_slower_than_scalar_fails(self):
+        current = serve_doc()
+        current["kernel"]["dispatch_gmacs"] = 0.1  # below its own scalar
+        self.assertEqual(self.run_gate(current, serve_doc()), 1)
+
+    def test_kernel_zero_dispatch_rate_on_simd_build_fails(self):
+        current = serve_doc()
+        current["kernel"]["dispatch_rate"] = 0.0
+        self.assertEqual(self.run_gate(current, serve_doc()), 1)
+
+    def test_kernel_scalar_build_skips_simd_gates(self):
+        # The CHAINNN_SIMD=OFF lane: the dispatcher IS the scalar
+        # reference, so zero fast-path dispatches and dispatch throughput
+        # within noise of scalar must pass against a SIMD baseline.
+        current = serve_doc()
+        current["kernel"]["simd_enabled"] = False
+        current["kernel"]["dispatch_rate"] = 0.0
+        current["kernel"]["fast_dispatches"] = 0
+        current["kernel"]["dispatch_gmacs"] = 0.19  # noise below scalar
+        current["kernel"]["speedup"] = 0.95
+        self.assertEqual(self.run_gate(current, serve_doc()), 0)
+
+    def test_kernel_section_must_match_presence(self):
+        current = serve_doc()
+        del current["kernel"]
+        self.assertEqual(self.run_gate(current, serve_doc()), 1)
+        baseline = serve_doc()
+        del baseline["kernel"]
+        self.assertEqual(self.run_gate(serve_doc(), baseline), 1)
 
     def test_gateway_section_must_match_presence(self):
         current = serve_doc()

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "fixed/quantize.hpp"
+#include "nn/conv_kernel.hpp"
 #include "nn/golden.hpp"
 
 namespace chainnn::chain {
@@ -97,6 +98,8 @@ LayerRunResult ChainAccelerator::run_layer(
   result.clock_hz_ = cfg_.array.clock_hz;
 
   const mem::HierarchySnapshot before = mem::snapshot(hierarchy_);
+  nn::ConvDispatch dispatch;
+  bool dispatched = false;
   if (cfg_.exec_mode == ExecMode::kAnalytical) {
     // Fast path: the golden fixed-point model produces the exact
     // accumulator surface the chain would (it is the oracle the
@@ -107,10 +110,15 @@ LayerRunResult ChainAccelerator::run_layer(
     CHAINNN_CHECK(kernels.shape() ==
                   Shape({layer.out_channels, layer.channels_per_group(),
                          layer.kernel, layer.kernel}));
-    result.accumulators =
-        cfg_.psum_storage == PsumStorage::kWide
-            ? nn::conv2d_fixed_accum(layer, ifmaps, kernels)
-            : staged_reference(cfg_, result.plan, ifmaps, kernels);
+    if (cfg_.psum_storage == PsumStorage::kWide) {
+      result.accumulators = nn::conv2d_fixed_accum_dispatch(
+          layer, ifmaps, kernels, &dispatch,
+          ArenaAllocator<std::int64_t>(cfg_.arena));
+      dispatched = true;
+    } else {
+      result.accumulators =
+          staged_reference(cfg_, result.plan, ifmaps, kernels);
+    }
     result.stats = analytical_stats(result.plan, layer.batch);
     charge_analytical_traffic(result.plan, layer.batch, hierarchy_);
   } else {
@@ -122,10 +130,17 @@ LayerRunResult ChainAccelerator::run_layer(
   result.stats.plan_cache_hits = lookup.hit ? 1 : 0;
   result.stats.plan_cache_misses = lookup.hit ? 0 : 1;
   result.stats.plan_cache_entries = static_cast<std::int64_t>(lookup.entries);
+  if (dispatched) {
+    result.stats.kernel_fast_dispatches = dispatch.fast ? 1 : 0;
+    result.stats.kernel_scalar_dispatches = dispatch.fast ? 0 : 1;
+  }
   result.traffic = mem::traffic_since(hierarchy_, before, layer.name);
 
-  // Requantize to 16-bit ofmaps.
-  result.ofmaps = Tensor<std::int16_t>(result.accumulators.shape());
+  // Requantize to 16-bit ofmaps. Uninit: the loop below writes every
+  // element; pooled so repeated layer shapes reuse one surface.
+  result.ofmaps =
+      Tensor<std::int16_t>(result.accumulators.shape(), Uninit{},
+                           ArenaAllocator<std::int16_t>(cfg_.arena));
   const std::int64_t plane = layer.out_height() * layer.out_width();
   const int acc_frac = cfg_.ifmap_fmt.frac_bits + cfg_.kernel_fmt.frac_bits;
   for (std::int64_t i = 0; i < result.accumulators.num_elements(); ++i) {

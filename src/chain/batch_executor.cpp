@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <exception>
-#include <thread>
+#include <utility>
 
 #include "common/check.hpp"
-#include "common/thread_annotations.hpp"
+#include "common/work_pool.hpp"
 
 namespace chainnn::chain {
 
@@ -22,18 +22,6 @@ std::uint64_t mix(std::uint64_t x) {
 
 }  // namespace
 
-struct BatchExecutor::Pool {
-  // Joined only by the destructor after every worker exited; not guarded.
-  std::vector<std::thread> threads;
-  Mutex mu;
-  CondVar work_ready;
-  CondVar batch_done;
-  std::vector<std::function<void()>>* tasks CHAINNN_GUARDED_BY(mu) = nullptr;
-  std::size_t next CHAINNN_GUARDED_BY(mu) = 0;
-  std::size_t pending CHAINNN_GUARDED_BY(mu) = 0;
-  bool stop CHAINNN_GUARDED_BY(mu) = false;
-};
-
 BatchExecutor::BatchExecutor(const AcceleratorConfig& accelerator,
                              BatchExecutorConfig cfg)
     : acc_cfg_(accelerator),
@@ -45,24 +33,9 @@ BatchExecutor::BatchExecutor(const AcceleratorConfig& accelerator,
   rngs_.reserve(static_cast<std::size_t>(cfg_.num_workers));
   for (std::int64_t w = 0; w < cfg_.num_workers; ++w)
     rngs_.emplace_back(mix(cfg_.seed + static_cast<std::uint64_t>(w)));
-
-  if (cfg_.num_workers > 1) {
-    pool_ = new Pool;
-    for (std::int64_t w = 0; w < cfg_.num_workers; ++w)
-      pool_->threads.emplace_back([this] { worker_loop(); });
-  }
 }
 
-BatchExecutor::~BatchExecutor() {
-  if (!pool_) return;
-  {
-    MutexLock lock(pool_->mu);
-    pool_->stop = true;
-  }
-  pool_->work_ready.notify_all();
-  for (std::thread& t : pool_->threads) t.join();
-  delete pool_;
-}
+BatchExecutor::~BatchExecutor() = default;
 
 Rng& BatchExecutor::worker_rng(std::int64_t w) {
   CHAINNN_CHECK_MSG(w >= 0 && w < cfg_.num_workers,
@@ -70,34 +43,12 @@ Rng& BatchExecutor::worker_rng(std::int64_t w) {
   return rngs_[static_cast<std::size_t>(w)];
 }
 
-void BatchExecutor::worker_loop() {
-  MutexLock lock(pool_->mu);
-  for (;;) {
-    while (!pool_->stop &&
-           !(pool_->tasks && pool_->next < pool_->tasks->size()))
-      pool_->work_ready.wait(pool_->mu);
-    if (pool_->stop) return;
-    const std::size_t i = pool_->next++;
-    auto& task = (*pool_->tasks)[i];
-    lock.Unlock();
-    task();  // tasks capture their own exception state
-    lock.Lock();
-    if (--pool_->pending == 0) pool_->batch_done.notify_all();
-  }
-}
-
 void BatchExecutor::run_tasks(std::vector<std::function<void()>>& tasks) {
-  if (!pool_) {
+  if (cfg_.num_workers <= 1) {
     for (auto& task : tasks) task();
     return;
   }
-  MutexLock lock(pool_->mu);
-  pool_->tasks = &tasks;
-  pool_->next = 0;
-  pool_->pending = tasks.size();
-  pool_->work_ready.notify_all();
-  while (pool_->pending != 0) pool_->batch_done.wait(pool_->mu);
-  pool_->tasks = nullptr;
+  common::WorkPool::shared().run_batch(std::move(tasks));
 }
 
 std::pair<std::int64_t, std::int64_t> BatchExecutor::shard_range(
@@ -148,6 +99,8 @@ LayerRunResult merge_shard_results(const dataflow::ExecutionPlan& plan,
     merged.stats.plan_cache_misses += r.stats.plan_cache_misses;
     merged.stats.plan_cache_entries = std::max(
         merged.stats.plan_cache_entries, r.stats.plan_cache_entries);
+    merged.stats.kernel_fast_dispatches += r.stats.kernel_fast_dispatches;
+    merged.stats.kernel_scalar_dispatches += r.stats.kernel_scalar_dispatches;
 
     merged.traffic.imemory_bytes += r.traffic.imemory_bytes;
     merged.traffic.omemory_bytes += r.traffic.omemory_bytes;
@@ -212,9 +165,12 @@ LayerRunResult BatchExecutor::run_layer(const nn::ConvLayerParams& layer,
       try {
         const auto [first, last] = shard_range(layer.batch, s, shards);
         nn::ConvLayerParams shard_layer = layer.with_batch(last - first);
+        // Uninit: fully overwritten by the copy below; pooled so the
+        // next request's identical shard slices reuse the blocks.
         Tensor<std::int16_t> slice(
             Shape{last - first, layer.in_channels, layer.in_height,
-                  layer.in_width});
+                  layer.in_width},
+            Uninit{}, ArenaAllocator<std::int16_t>(acc_cfg_.arena));
         const auto src = ifmaps.data().subspan(
             static_cast<std::size_t>(first * image_words),
             static_cast<std::size_t>((last - first) * image_words));

@@ -30,6 +30,13 @@
 // independent, deterministically seeded RNG stream (seed ^ splitmix(w))
 // so any future stochastic model component (e.g. DRAM latency jitter)
 // stays reproducible under parallel execution.
+//
+// Threading: the executor owns no threads. Shard tasks run on the
+// process-wide common::WorkPool (helping semantics — the calling thread
+// participates, so executors never deadlock each other however many are
+// live at once); num_workers only chooses the shard count and the RNG
+// stream count, both indexed by shard number, which is why results stay
+// bit-identical no matter which pool thread runs which shard.
 #pragma once
 
 #include <cstdint>
@@ -44,8 +51,9 @@
 namespace chainnn::chain {
 
 struct BatchExecutorConfig {
-  // Worker threads in the pool. 1 keeps everything on the calling thread
-  // and is bit-identical to ChainAccelerator::run_layer by construction.
+  // Maximum shards per layer run (the executor's share of the global
+  // WorkPool). 1 keeps everything on the calling thread and is
+  // bit-identical to ChainAccelerator::run_layer by construction.
   std::int64_t num_workers = 1;
   // Base seed for the per-worker RNG streams.
   std::uint64_t seed = 0xC4A15EEDULL;
@@ -91,19 +99,16 @@ class BatchExecutor {
       std::int64_t batch, std::int64_t w, std::int64_t count);
 
  private:
-  // Runs `tasks` on the pool (any thread may pick up any task) and blocks
-  // until all complete. With a single worker the tasks run inline.
+  // Runs `tasks` on the shared WorkPool (any thread may pick up any
+  // task, including this one) and blocks until all complete. With a
+  // single worker the tasks run inline without touching the pool.
   void run_tasks(std::vector<std::function<void()>>& tasks);
-  void worker_loop();
 
   AcceleratorConfig acc_cfg_;
   BatchExecutorConfig cfg_;
   std::shared_ptr<serve::PlanCache> plan_cache_;
   std::vector<Rng> rngs_;
   std::unique_ptr<ChainAccelerator> serial_acc_;  // lazy, single-shard path
-
-  struct Pool;  // threads + queue (hidden so the header stays light)
-  Pool* pool_ = nullptr;
 };
 
 // Merges per-shard layer results (contiguous image slices, in order) into

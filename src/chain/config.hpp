@@ -1,11 +1,13 @@
 // Configuration of a Chain-NN accelerator instance.
 #pragma once
 
+#include <memory>
 #include <string_view>
 
 #include "dataflow/array_shape.hpp"
 #include "fixed/fixed16.hpp"
 #include "mem/hierarchy.hpp"
+#include "tensor/arena.hpp"
 
 namespace chainnn::chain {
 
@@ -70,6 +72,13 @@ struct AcceleratorConfig {
   // ofmaps and identical cycle/traffic totals (pinned by the exec-mode
   // equivalence sweep in tests/chain/test_exec_mode.cpp).
   ExecMode exec_mode = ExecMode::kCycleAccurate;
+
+  // Pooled allocator for the run's working tensors (accumulator and
+  // ofmap surfaces, shard input slices). Semantics-free — results are
+  // bit-identical with or without it; nullptr allocates from the heap
+  // as before. Travels with config copies, so BatchExecutor shard
+  // clones and per-request accelerators share the owner's pool.
+  std::shared_ptr<TensorArena> arena;
 };
 
 }  // namespace chainnn::chain

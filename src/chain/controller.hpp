@@ -43,6 +43,15 @@ struct RunStats {
   std::int64_t plan_cache_misses = 0;
   std::int64_t plan_cache_entries = 0;
 
+  // Analytical MAC-kernel routing (host-side accounting like the
+  // plan-cache counters, never part of the modelled cycles): layer runs
+  // dispatched to the vectorized saturation-free fast path vs the exact
+  // scalar sticky-clamp reference (see nn/conv_kernel.hpp). Both stay 0
+  // for cycle-accurate and staged-psum runs, which don't go through the
+  // dispatcher; sharded runs sum across shards.
+  std::int64_t kernel_fast_dispatches = 0;
+  std::int64_t kernel_scalar_dispatches = 0;
+
   [[nodiscard]] std::int64_t total_cycles() const {
     return kernel_load_cycles + stream_cycles + drain_cycles;
   }

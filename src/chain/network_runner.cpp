@@ -75,10 +75,11 @@ NetworkRunResult NetworkRunner::run(const nn::NetworkModel& net,
                     "num_workers must be >= 1, got " << options.num_workers);
   AcceleratorConfig effective_cfg = acc_.config();
   if (options.exec_mode) effective_cfg.exec_mode = *options.exec_mode;
+  if (options.arena) effective_cfg.arena = options.arena;
   std::unique_ptr<BatchExecutor> executor;
   if (options.num_workers > 1 ||
       effective_cfg.exec_mode != acc_.config().exec_mode ||
-      options.plan_cache) {
+      options.plan_cache || options.arena) {
     // The executor owns per-shard accelerator clones carrying the
     // effective config; with one worker it runs serially on the calling
     // thread, so an exec-mode override or injected plan cache never

@@ -131,6 +131,10 @@ struct NetworkRunOptions {
   // workers, other runs, sweep points). nullptr keeps the accelerator's
   // own cache. Semantics-free: results are bit-identical either way.
   std::shared_ptr<serve::PlanCache> plan_cache;
+  // Tensor pool for this run's working buffers (see tensor/arena.hpp).
+  // nullptr keeps the accelerator config's own arena (which may also be
+  // null — plain heap allocation). Semantics-free like the plan cache.
+  std::shared_ptr<TensorArena> arena;
   // Cooperative cancellation, polled at a checkpoint before every conv
   // layer: when it returns true the run throws RunCancelled instead of
   // starting the next layer. Layers are never interrupted mid-flight, so

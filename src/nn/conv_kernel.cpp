@@ -1,0 +1,154 @@
+#include "nn/conv_kernel.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.hpp"
+#include "fixed/fixed16.hpp"
+#include "nn/golden.hpp"
+
+namespace chainnn::nn {
+
+namespace {
+
+// Largest |value| in a raw int16 tensor (as int64: |-32768| = 32768).
+std::int64_t max_abs(const Tensor<std::int16_t>& t) {
+  std::int64_t m = 0;
+  for (const std::int16_t v : t.data())
+    m = std::max(m, std::abs(static_cast<std::int64_t>(v)));
+  return m;
+}
+
+}  // namespace
+
+bool simd_kernel_enabled() {
+#ifdef CHAINNN_SIMD
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool saturation_free(const ConvLayerParams& p, std::int64_t max_abs_ifmap,
+                     std::int64_t max_abs_kernel) {
+  CHAINNN_CHECK(max_abs_ifmap >= 0 && max_abs_ifmap <= 32768 &&
+                max_abs_kernel >= 0 && max_abs_kernel <= 32768);
+  const std::int64_t taps = p.channels_per_group() * p.kernel * p.kernel;
+  const std::int64_t prod = max_abs_ifmap * max_abs_kernel;  // <= 2^30
+  if (prod == 0) return true;  // all-zero operand: every sum is 0
+  return taps <= fixed::Accumulator48::kMax / prod;
+}
+
+Tensor<std::int64_t> conv2d_fixed_accum_fast(
+    const ConvLayerParams& p, const Tensor<std::int16_t>& ifmaps,
+    const Tensor<std::int16_t>& kernels,
+    ArenaAllocator<std::int64_t> alloc) {
+  p.validate();
+  CHAINNN_CHECK(ifmaps.shape() ==
+                Shape({p.batch, p.in_channels, p.in_height, p.in_width}));
+  CHAINNN_CHECK(kernels.shape() == Shape({p.out_channels,
+                                          p.channels_per_group(), p.kernel,
+                                          p.kernel}));
+
+  const std::int64_t oh = p.out_height();
+  const std::int64_t ow = p.out_width();
+  // Uninit: the (n, m, oy) nest below zero-fills every output row
+  // before accumulating into it, so value-initializing here would
+  // stream the whole surface through memory twice.
+  Tensor<std::int64_t> out(Shape{p.batch, p.out_channels, oh, ow}, Uninit{},
+                           alloc);
+  const std::int64_t cg = p.channels_per_group();
+  const std::int64_t m_per_g = p.out_channels_per_group();
+  const std::int64_t h = p.in_height;
+  const std::int64_t w = p.in_width;
+  const std::int64_t k = p.kernel;
+  const std::int64_t s = p.stride;
+  const std::int64_t pr = p.pad_rows();
+  const std::int64_t pc = p.pad_cols();
+
+  // Same raw-pointer nest as conv2d_fixed_accum but restructured for
+  // vectorization: instead of finishing one output at a time, each
+  // (n, m, oy) zeroes a row of int64 accumulators and broadcasts one
+  // weight across the row's valid output columns (innermost ox loop —
+  // unit stride on both the accumulator row and, for stride-1 layers,
+  // the ifmap row). Each orow[ox] still receives its taps in the exact
+  // (c, ky, kx) order of the scalar reference; with saturation proven
+  // impossible the sums are plain int64 arithmetic, so the restructure
+  // is bit-exact.
+  const std::int16_t* x = ifmaps.data().data();
+  const std::int16_t* ker = kernels.data().data();
+  std::int64_t* o = out.mutable_data().data();
+  for (std::int64_t n = 0; n < p.batch; ++n) {
+    const std::int16_t* xn = x + n * p.in_channels * h * w;
+    for (std::int64_t m = 0; m < p.out_channels; ++m) {
+      const std::int16_t* wm = ker + m * cg * k * k;
+      const std::int16_t* xg = xn + (m / m_per_g) * cg * h * w;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        std::int64_t* orow = o + ((n * p.out_channels + m) * oh + oy) * ow;
+        std::fill(orow, orow + ow, std::int64_t{0});
+        const std::int64_t ky_lo = std::max<std::int64_t>(0, pr - oy * s);
+        const std::int64_t ky_hi = std::min(k, h + pr - oy * s);
+        for (std::int64_t c = 0; c < cg; ++c) {
+          const std::int16_t* xc = xg + c * h * w;
+          const std::int16_t* wc = wm + c * k * k;
+          for (std::int64_t ky = ky_lo; ky < ky_hi; ++ky) {
+            const std::int16_t* xrow = xc + (oy * s + ky - pr) * w;
+            const std::int16_t* wrow = wc + ky * k;
+            for (std::int64_t kx = 0; kx < k; ++kx) {
+              // Valid output columns for this tap: ix = ox*s + kx - pc
+              // must land in [0, w). Solving for ox gives the
+              // contiguous range [ox_lo, ox_hi) — the padding test of
+              // the scalar nest, hoisted out of the innermost loop.
+              const std::int64_t d = pc - kx;
+              const std::int64_t ox_lo = d <= 0 ? 0 : (d + s - 1) / s;
+              const std::int64_t num = w - 1 - kx + pc;
+              const std::int64_t ox_hi =
+                  num < 0 ? 0 : std::min(ow, num / s + 1);
+              if (ox_lo >= ox_hi) continue;
+              const std::int32_t wv = wrow[kx];
+              if (s == 1) {
+                // Unit stride: both streams contiguous — the loop the
+                // compiler vectorizes. ox_lo >= d keeps the first index
+                // non-negative, so only in-bounds pointers are formed.
+                const std::int16_t* xp = xrow + (ox_lo - d);
+                std::int64_t* op = orow + ox_lo;
+                const std::int64_t len = ox_hi - ox_lo;
+                for (std::int64_t i = 0; i < len; ++i)
+                  op[i] += static_cast<std::int64_t>(
+                      static_cast<std::int32_t>(xp[i]) * wv);
+              } else {
+                for (std::int64_t ox = ox_lo; ox < ox_hi; ++ox)
+                  orow[ox] += static_cast<std::int64_t>(
+                      static_cast<std::int32_t>(xrow[ox * s - d]) * wv);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor<std::int64_t> conv2d_fixed_accum_dispatch(
+    const ConvLayerParams& p, const Tensor<std::int16_t>& ifmaps,
+    const Tensor<std::int16_t>& kernels, ConvDispatch* dispatch,
+    ArenaAllocator<std::int64_t> alloc) {
+  ConvDispatch d;
+  if (simd_kernel_enabled()) {
+    bool safe = saturation_free(p);
+    if (!safe) {
+      d.data_scanned = true;
+      safe = saturation_free(p, max_abs(ifmaps), max_abs(kernels));
+    }
+    if (safe) {
+      d.fast = true;
+      if (dispatch) *dispatch = d;
+      return conv2d_fixed_accum_fast(p, ifmaps, kernels, alloc);
+    }
+  }
+  if (dispatch) *dispatch = d;
+  return conv2d_fixed_accum(p, ifmaps, kernels);
+}
+
+}  // namespace chainnn::nn

@@ -6,23 +6,6 @@
 
 namespace chainnn::nn {
 
-namespace {
-
-// Shared loop nest for direct convolution. Visits every (n, m, oy, ox)
-// output site and every (c, ky, kx) tap inside it, skipping padding taps.
-// `Body(n, m, oy, ox, group_c, ky, kx, iy, ix)` accumulates one tap;
-// group_c is the within-group input channel, iy/ix the ifmap coordinates.
-template <typename PerOutput>
-void for_each_output(const ConvLayerParams& p, PerOutput&& per_output) {
-  for (std::int64_t n = 0; n < p.batch; ++n)
-    for (std::int64_t m = 0; m < p.out_channels; ++m)
-      for (std::int64_t oy = 0; oy < p.out_height(); ++oy)
-        for (std::int64_t ox = 0; ox < p.out_width(); ++ox)
-          per_output(n, m, oy, ox);
-}
-
-}  // namespace
-
 Tensor<float> conv2d_float(const ConvLayerParams& p,
                            const Tensor<float>& ifmaps,
                            const Tensor<float>& kernels,
@@ -39,26 +22,50 @@ Tensor<float> conv2d_float(const ConvLayerParams& p,
                           p.out_width()});
   const std::int64_t cg = p.channels_per_group();
   const std::int64_t m_per_g = p.out_channels_per_group();
+  const std::int64_t h = p.in_height;
+  const std::int64_t w = p.in_width;
+  const std::int64_t k = p.kernel;
+  const std::int64_t s = p.stride;
+  const std::int64_t pr = p.pad_rows();
+  const std::int64_t pc = p.pad_cols();
 
-  for_each_output(p, [&](std::int64_t n, std::int64_t m, std::int64_t oy,
-                         std::int64_t ox) {
-    const std::int64_t g = m / m_per_g;
-    double acc = bias ? double{bias->at_flat(m)} : 0.0;
-    for (std::int64_t c = 0; c < cg; ++c) {
-      const std::int64_t ic = g * cg + c;
-      for (std::int64_t ky = 0; ky < p.kernel; ++ky) {
-        const std::int64_t iy = oy * p.stride + ky - p.pad_rows();
-        if (iy < 0 || iy >= p.in_height) continue;
-        for (std::int64_t kx = 0; kx < p.kernel; ++kx) {
-          const std::int64_t ix = ox * p.stride + kx - p.pad_cols();
-          if (ix < 0 || ix >= p.in_width) continue;
-          acc += double{ifmaps.at(n, ic, iy, ix)} *
-                 double{kernels.at(m, c, ky, kx)};
+  // Raw-pointer loop nest, structurally parallel to conv2d_fixed_accum
+  // below: the group base pointer hoists the per-output m / m_per_g
+  // division, and the padding tests become tap-range bounds outside the
+  // kx loop. The double accumulation visits taps in the same (c, ky, kx)
+  // order as the accessor nest it replaces, so results are bit-identical.
+  const float* x = ifmaps.data().data();
+  const float* ker = kernels.data().data();
+  float* o = out.mutable_data().data();
+  for (std::int64_t n = 0; n < p.batch; ++n) {
+    const float* xn = x + n * p.in_channels * h * w;
+    for (std::int64_t m = 0; m < p.out_channels; ++m) {
+      const float* wm = ker + m * cg * k * k;
+      const float* xg = xn + (m / m_per_g) * cg * h * w;
+      const double b = bias ? double{bias->at_flat(m)} : 0.0;
+      for (std::int64_t oy = 0; oy < p.out_height(); ++oy) {
+        const std::int64_t ky_lo = std::max<std::int64_t>(0, pr - oy * s);
+        const std::int64_t ky_hi = std::min(k, h + pr - oy * s);
+        for (std::int64_t ox = 0; ox < p.out_width(); ++ox) {
+          const std::int64_t kx_lo = std::max<std::int64_t>(0, pc - ox * s);
+          const std::int64_t kx_hi = std::min(k, w + pc - ox * s);
+          const std::int64_t ix0 = ox * s - pc;
+          double acc = b;
+          for (std::int64_t c = 0; c < cg; ++c) {
+            const float* xc = xg + c * h * w;
+            const float* wc = wm + c * k * k;
+            for (std::int64_t ky = ky_lo; ky < ky_hi; ++ky) {
+              const float* xrow = xc + (oy * s + ky - pr) * w;
+              const float* wrow = wc + ky * k;
+              for (std::int64_t kx = kx_lo; kx < kx_hi; ++kx)
+                acc += double{xrow[ix0 + kx]} * double{wrow[kx]};
+            }
+          }
+          *o++ = static_cast<float>(acc);
         }
       }
     }
-    out.at(n, m, oy, ox) = static_cast<float>(acc);
-  });
+  }
   return out;
 }
 

@@ -245,6 +245,11 @@ FleetStats Fleet::stats() const {
     out.resumes += chip.server.resumes;
     out.fidelity_samples += chip.server.fidelity_samples;
     out.fidelity_divergences += chip.server.fidelity_divergences;
+    out.arena.bytes_in_use += chip.server.arena.bytes_in_use;
+    out.arena.high_water_bytes += chip.server.arena.high_water_bytes;
+    out.arena.freelist_bytes += chip.server.arena.freelist_bytes;
+    out.arena.allocations += chip.server.arena.allocations;
+    out.arena.reuses += chip.server.arena.reuses;
     out.chips.push_back(std::move(chip));
   }
   out.rejected = rejected_.load();

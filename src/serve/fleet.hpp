@@ -87,6 +87,10 @@ struct FleetStats {
   // per-chip counter.
   std::int64_t rejected = 0;
   PlanCacheStats plan_cache;
+  // Tensor-pool figures summed over the chips (each chip owns its own
+  // arena; high_water_bytes sums the per-chip peaks, an upper bound on
+  // the fleet's simultaneous peak).
+  ArenaStats arena;
 
   // Deadlines not served in time, both ways a deadline can be lost:
   // completed-but-late plus cancelled-because-expired. The figure the

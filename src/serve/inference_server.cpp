@@ -4,13 +4,13 @@
 #include <chrono>
 #include <exception>
 #include <sstream>
-#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/thread_annotations.hpp"
+#include "common/work_pool.hpp"
 
 namespace chainnn::serve {
 
@@ -95,18 +95,19 @@ struct InferenceServer::Task {
 
 struct InferenceServer::State {
   mutable Mutex mu;
-  CondVar work_ready;   // queue gained a task / stopping
   CondVar space_ready;  // queue dropped below max_queue
-  CondVar idle;         // completed caught up to submitted
+  CondVar idle;         // completed caught up to submitted / drains retired
   // Heap ordered by Task::scheduled_after.
   std::vector<Task> queue CHAINNN_GUARDED_BY(mu);
-  // Joined only by the destructor, after every worker has exited; never
-  // touched concurrently, so not guarded.
-  std::vector<std::thread> threads;
-  bool stop CHAINNN_GUARDED_BY(mu) = false;
 
   std::int64_t next_id CHAINNN_GUARDED_BY(mu) = 0;
   std::int64_t in_flight CHAINNN_GUARDED_BY(mu) = 0;
+  // Drain tasks live on the shared WorkPool for this server. The
+  // invariant a drain's exit protocol maintains: the queue is non-empty
+  // only while at least one drain is scheduled (a drain retires under mu
+  // in the same critical section that observes the queue empty, so any
+  // later enqueue sees the decremented count and schedules afresh).
+  std::int64_t scheduled_drains CHAINNN_GUARDED_BY(mu) = 0;
   // Workers that have committed to yield (preempt_check returned true)
   // but have not yet re-enqueued their checkpointed task. Caps
   // simultaneous yields at the number of waiting higher-tier tasks, so
@@ -120,22 +121,25 @@ InferenceServer::InferenceServer(ServerOptions options)
     : opts_(std::move(options)),
       cache_(opts_.plan_cache ? opts_.plan_cache
                               : std::make_shared<PlanCache>()),
+      arena_(opts_.arena ? opts_.arena : std::make_shared<TensorArena>()),
       state_(new State) {
   CHAINNN_CHECK_MSG(opts_.num_threads >= 1,
                     "num_threads must be >= 1, got " << opts_.num_threads);
   CHAINNN_CHECK_MSG(opts_.max_queue >= 1,
                     "max_queue must be >= 1, got " << opts_.max_queue);
-  for (std::int64_t t = 0; t < opts_.num_threads; ++t)
-    state_->threads.emplace_back([this] { worker_loop(); });
 }
 
 InferenceServer::~InferenceServer() {
   {
+    // Pending requests still execute (their drains are already
+    // scheduled); wait for the last drain to retire so no pool task
+    // references this server afterwards. Drains never sleep — they
+    // retire the moment the queue is empty — so this terminates.
     MutexLock lock(state_->mu);
-    state_->stop = true;
+    while (!(state_->queue.empty() && state_->in_flight == 0 &&
+             state_->scheduled_drains == 0))
+      state_->idle.wait(state_->mu);
   }
-  state_->work_ready.notify_all();
-  for (std::thread& t : state_->threads) t.join();
   delete state_;
 }
 
@@ -209,8 +213,17 @@ std::future<InferenceResult> InferenceServer::enqueue(Task&& task) {
     state_->stats.peak_queue_depth =
         std::max(state_->stats.peak_queue_depth,
                  static_cast<std::int64_t>(state_->queue.size()));
+    // Schedule drains up to the concurrency cap. The demand is the
+    // queued tasks plus the ones drains are already executing (each
+    // in-flight request occupies one drain), so a second drain spins up
+    // for a task that arrives while the first is mid-run.
+    const std::int64_t demand =
+        static_cast<std::int64_t>(state_->queue.size()) + state_->in_flight;
+    while (state_->scheduled_drains < std::min(opts_.num_threads, demand)) {
+      ++state_->scheduled_drains;
+      common::WorkPool::shared().submit_blocking([this] { drain_loop(); });
+    }
   }
-  state_->work_ready.notify_one();
   return future;
 }
 
@@ -227,6 +240,7 @@ ServerStats InferenceServer::stats() const {
     s = state_->stats;
   }
   s.plan_cache = cache_->stats();
+  s.arena = arena_->stats();
   return s;
 }
 
@@ -243,6 +257,7 @@ chain::NetworkRunResult InferenceServer::run_network(
   ro.weight_init = task.options.weight_init;
   ro.num_workers = task.options.num_workers;
   ro.plan_cache = cache_;
+  ro.arena = arena_;
   ro.cancel_check = cancel_check;
   ro.preempt_check = preempt_check;
   ro.resume = std::move(resume);
@@ -400,16 +415,21 @@ std::optional<InferenceResult> InferenceServer::execute_request(Task& task) {
   return out;
 }
 
-void InferenceServer::worker_loop() {
+void InferenceServer::drain_loop() {
   MutexLock lock(state_->mu);
   for (;;) {
-    while (!state_->stop && state_->queue.empty())
-      state_->work_ready.wait(state_->mu);
-    // Drain-then-stop: pending requests still execute after stop so
-    // their futures always resolve.
     if (state_->queue.empty()) {
-      if (state_->stop) return;
-      continue;
+      // Retire. The decrement happens in the same critical section that
+      // observed the queue empty, so an enqueue can never race a drain
+      // out of existence: it either sees the task-less queue before the
+      // push (and the push's spawn loop schedules afresh against the
+      // decremented count) or the still-counted drain picks its task up
+      // on the next iteration. The idle signal is for the destructor,
+      // which waits for the drain count to hit zero before releasing
+      // the server state a drain dereferences.
+      --state_->scheduled_drains;
+      state_->idle.notify_all();
+      return;
     }
     std::pop_heap(state_->queue.begin(), state_->queue.end(),
                   Task::scheduled_after);
@@ -475,9 +495,7 @@ void InferenceServer::worker_loop() {
     if (is_resume) ++state_->stats.resumes;
     if (preempted) {
       // Give the checkpointed request its queue slot back (bypassing
-      // backpressure — a worker cannot block on its own submit gate) and
-      // wake a worker for it: by now another worker may already have
-      // taken the urgent request this preemption yielded to.
+      // backpressure — a drain cannot block on its own submit gate).
       ++state_->stats.preemptions;
       // Restart the queue clock: queue_ms on the final attempt measures
       // the wait since this re-enqueue, not the request's own earlier
@@ -490,7 +508,16 @@ void InferenceServer::worker_loop() {
           std::max(state_->stats.peak_queue_depth,
                    static_cast<std::int64_t>(state_->queue.size()));
       --state_->in_flight;
-      state_->work_ready.notify_one();
+      // The queue just grew: top drains back up to the cap (this drain
+      // continues — by now it may pick up the urgent request itself).
+      const std::int64_t demand =
+          static_cast<std::int64_t>(state_->queue.size()) +
+          state_->in_flight;
+      while (state_->scheduled_drains <
+             std::min(opts_.num_threads, demand)) {
+        ++state_->scheduled_drains;
+        common::WorkPool::shared().submit_blocking([this] { drain_loop(); });
+      }
       continue;
     }
     if (error) {

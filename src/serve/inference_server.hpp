@@ -1,11 +1,17 @@
 // InferenceServer — an async request scheduler over the Chain-NN
 // execution stack.
 //
-// submit(network, input | batch, options) returns a std::future; a pool
-// of worker threads drains a bounded queue (submit blocks when the queue
-// is full — backpressure, not drops). Every request runs a whole network
-// through NetworkRunner on its own accelerator instance; all plan
-// lookups of all workers resolve through one shared PlanCache, so a
+// submit(network, input | batch, options) returns a std::future; drain
+// tasks on the process-wide common::WorkPool (its blocking lane — a
+// request may park on a user hook for arbitrarily long) drain a bounded
+// queue (submit blocks when the queue is full — backpressure, not
+// drops). The server owns no threads: a drain task is scheduled
+// whenever the queue grows and fewer than num_threads are live, runs
+// requests until the queue is empty, and retires, so an idle server
+// costs nothing and a fleet of servers shares one thread cache instead
+// of pinning num_threads threads apiece. Every request runs a whole
+// network through NetworkRunner on its own accelerator instance; all
+// plan lookups of all drains resolve through one shared PlanCache, so a
 // request only pays planning cost the first time its (layer, array)
 // shape is seen by the process.
 //
@@ -185,6 +191,8 @@ struct ServerStats {
   std::int64_t fidelity_divergences = 0;
   std::int64_t peak_queue_depth = 0;
   PlanCacheStats plan_cache;
+  // The chip's tensor pool (filled on read, like plan_cache).
+  ArenaStats arena;
 };
 
 // The paper-default accelerator with the analytical engine selected —
@@ -203,6 +211,8 @@ struct ServerOptions {
   // Name stamped on every InferenceResult::chip — lets fleet members be
   // told apart downstream. Empty for a standalone server.
   std::string name;
+  // Maximum drain tasks live on the shared WorkPool for this server —
+  // the server's concurrency cap (it owns no threads of its own).
   std::int64_t num_threads = 2;
   std::int64_t max_queue = 64;  // submit() blocks while this many queued
   // Re-run every Nth request (by submission id) on the other engine and
@@ -210,6 +220,12 @@ struct ServerOptions {
   std::int64_t fidelity_sample_every_n = 0;
   // Shared plan cache; nullptr creates a server-owned one.
   std::shared_ptr<PlanCache> plan_cache;
+  // Tensor pool for every request's working buffers (accumulator and
+  // ofmap surfaces, shard slices — see tensor/arena.hpp); nullptr
+  // creates a server-owned one, so a request's buffers return to the
+  // pool as it completes and the next request reallocates them for
+  // free. Semantics-free: results are bit-identical with or without.
+  std::shared_ptr<TensorArena> arena;
   // Preemptive scheduling: when a strictly-higher-priority request is
   // queued while a lower-tier request runs, the worker checkpoints the
   // running request at its next inter-layer boundary (RunCheckpoint),
@@ -251,7 +267,8 @@ struct ServerOptions {
 class InferenceServer {
  public:
   explicit InferenceServer(ServerOptions options = {});
-  // Drains the queue (pending requests still execute), then joins.
+  // Drains the queue (pending requests still execute), then waits for
+  // every drain task to retire before releasing the server state.
   ~InferenceServer();
 
   InferenceServer(const InferenceServer&) = delete;
@@ -275,11 +292,15 @@ class InferenceServer {
   [[nodiscard]] const std::shared_ptr<PlanCache>& plan_cache() const {
     return cache_;
   }
+  // The (shared or server-owned) tensor pool requests allocate from.
+  [[nodiscard]] const std::shared_ptr<TensorArena>& arena() const {
+    return arena_;
+  }
   [[nodiscard]] const ServerOptions& options() const { return opts_; }
 
  private:
   struct Task;
-  struct State;  // queue + threads (hidden so the header stays light)
+  struct State;  // queue + counters (hidden so the header stays light)
 
   // Claims the next request id (inputs are derived from it before the
   // task enters the queue, so ids identify inputs even under concurrent
@@ -296,10 +317,13 @@ class InferenceServer {
       const std::function<bool()>& cancel_check,
       const std::function<bool()>& preempt_check = {},
       std::shared_ptr<const chain::RunCheckpoint> resume = nullptr);
-  void worker_loop();
+  // One drain task: pops and runs requests until the queue is empty,
+  // then retires (a later enqueue schedules a fresh drain).
+  void drain_loop();
 
   ServerOptions opts_;
   std::shared_ptr<PlanCache> cache_;
+  std::shared_ptr<TensorArena> arena_;
   State* state_ = nullptr;
 };
 

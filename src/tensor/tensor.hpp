@@ -4,6 +4,15 @@
 // models use Tensor<float> / Tensor<double>; accumulator-level references
 // use Tensor<std::int64_t>. Data is owned (std::vector); copies are deep,
 // moves are cheap — Rule of Zero throughout.
+//
+// Allocation: storage comes from an ArenaAllocator. Default-constructed
+// allocators are plain ::operator new (exactly the old behaviour); the
+// serving hot path passes an allocator bound to a TensorArena so
+// repeated layer-shaped buffers are pooled across layers and requests
+// (see tensor/arena.hpp). The Uninit tag skips the zero-fill for output
+// tensors every element of which is overwritten before any read — the
+// zero-fill of a VGG-sized accumulator surface is pure waste when the
+// kernel's first touch of every row is a store.
 #pragma once
 
 #include <algorithm>
@@ -13,29 +22,42 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "tensor/arena.hpp"
 #include "tensor/shape.hpp"
 
 namespace chainnn {
 
+// Tag requesting default-initialized (indeterminate) tensor elements.
+// Only for outputs whose every element is written before any read.
+struct Uninit {};
+
 template <typename T>
 class Tensor {
  public:
+  using allocator_type = ArenaAllocator<T>;
+
   Tensor() = default;
 
-  explicit Tensor(Shape shape)
+  explicit Tensor(Shape shape, allocator_type alloc = {})
       : shape_(std::move(shape)),
         strides_(shape_.strides()),
-        data_(static_cast<std::size_t>(shape_.num_elements()), T{}) {}
+        data_(static_cast<std::size_t>(shape_.num_elements()), T{}, alloc) {}
 
-  Tensor(Shape shape, T fill_value)
+  Tensor(Shape shape, Uninit, allocator_type alloc = {})
       : shape_(std::move(shape)),
         strides_(shape_.strides()),
-        data_(static_cast<std::size_t>(shape_.num_elements()), fill_value) {}
+        data_(static_cast<std::size_t>(shape_.num_elements()), alloc) {}
+
+  Tensor(Shape shape, T fill_value, allocator_type alloc = {})
+      : shape_(std::move(shape)),
+        strides_(shape_.strides()),
+        data_(static_cast<std::size_t>(shape_.num_elements()), fill_value,
+              alloc) {}
 
   Tensor(Shape shape, std::vector<T> data)
       : shape_(std::move(shape)),
         strides_(shape_.strides()),
-        data_(std::move(data)) {
+        data_(data.begin(), data.end()) {
     CHAINNN_CHECK_MSG(
         static_cast<std::int64_t>(data_.size()) == shape_.num_elements(),
         "data size " << data_.size() << " vs shape " << shape_.to_string());
@@ -112,7 +134,7 @@ class Tensor {
  private:
   Shape shape_;
   std::vector<std::int64_t> strides_;
-  std::vector<T> data_;
+  std::vector<T, ArenaAllocator<T>> data_;
 };
 
 // Maximum absolute elementwise difference between equal-shaped tensors.

@@ -1,0 +1,136 @@
+// TensorArena / ArenaAllocator — pooling, stats, lifetime safety.
+#include "tensor/arena.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "gtest/gtest.h"
+#include "tensor/tensor.hpp"
+
+namespace chainnn {
+namespace {
+
+TEST(TensorArena, ReusesIdenticallySizedBlocks) {
+  auto arena = std::make_shared<TensorArena>();
+  const Shape shape{2, 3, 8, 8};
+  void* first_block = nullptr;
+  {
+    Tensor<std::int64_t> t(shape, ArenaAllocator<std::int64_t>(arena));
+    first_block = t.mutable_data().data();
+  }
+  // The tensor died: its block is on the freelist, not back at the OS.
+  ArenaStats s = arena->stats();
+  EXPECT_EQ(s.allocations, 1);
+  EXPECT_EQ(s.reuses, 0);
+  EXPECT_EQ(s.bytes_in_use, 0);
+  EXPECT_EQ(s.freelist_bytes,
+            shape.num_elements() *
+                static_cast<std::int64_t>(sizeof(std::int64_t)));
+
+  Tensor<std::int64_t> again(shape, ArenaAllocator<std::int64_t>(arena));
+  EXPECT_EQ(again.mutable_data().data(), first_block);  // same block back
+  s = arena->stats();
+  EXPECT_EQ(s.allocations, 2);
+  EXPECT_EQ(s.reuses, 1);
+  EXPECT_EQ(s.freelist_bytes, 0);
+  EXPECT_DOUBLE_EQ(s.reuse_rate(), 0.5);
+}
+
+TEST(TensorArena, TracksHighWaterAcrossLiveTensors) {
+  auto arena = std::make_shared<TensorArena>();
+  const std::int64_t bytes16 =
+      64 * static_cast<std::int64_t>(sizeof(std::int16_t));
+  {
+    Tensor<std::int16_t> a(Shape{64}, ArenaAllocator<std::int16_t>(arena));
+    Tensor<std::int16_t> b(Shape{64}, ArenaAllocator<std::int16_t>(arena));
+    EXPECT_EQ(arena->stats().bytes_in_use, 2 * bytes16);
+  }
+  const ArenaStats s = arena->stats();
+  EXPECT_EQ(s.bytes_in_use, 0);
+  EXPECT_EQ(s.high_water_bytes, 2 * bytes16);  // the peak survives
+}
+
+TEST(TensorArena, TrimReleasesFreelistOnly) {
+  auto arena = std::make_shared<TensorArena>();
+  Tensor<std::int16_t> live(Shape{16}, ArenaAllocator<std::int16_t>(arena));
+  { Tensor<std::int16_t> dead(Shape{32}, ArenaAllocator<std::int16_t>(arena)); }
+  EXPECT_GT(arena->stats().freelist_bytes, 0);
+  arena->trim();
+  const ArenaStats s = arena->stats();
+  EXPECT_EQ(s.freelist_bytes, 0);
+  EXPECT_EQ(s.bytes_in_use,
+            16 * static_cast<std::int64_t>(sizeof(std::int16_t)));
+  live.fill(3);  // the live block is untouched by trim
+  EXPECT_EQ(live.at_flat(0), 3);
+}
+
+TEST(TensorArena, EscapingTensorKeepsArenaAlive) {
+  // The lifetime property the serving layer relies on: per-layer result
+  // tensors escape the request (and could escape the server); the
+  // allocator's shared_ptr must keep the arena alive until the last one
+  // dies, and releasing into a caller-dropped arena must be safe.
+  Tensor<std::int16_t> escaped;
+  {
+    auto arena = std::make_shared<TensorArena>();
+    escaped =
+        Tensor<std::int16_t>(Shape{128}, ArenaAllocator<std::int16_t>(arena));
+    escaped.fill(7);
+  }  // the only named handle on the arena is gone
+  EXPECT_EQ(escaped.at_flat(127), 7);
+  escaped = Tensor<std::int16_t>();  // release into the still-alive arena
+}
+
+TEST(TensorArena, ZeroingAndFillConstructorsInitializeFromPool) {
+  // A pooled block is recycled dirty; the value-initializing ctors must
+  // still deliver their advertised contents.
+  auto arena = std::make_shared<TensorArena>();
+  const Shape shape{64};
+  {
+    Tensor<std::int16_t> dirty(shape, Uninit{},
+                               ArenaAllocator<std::int16_t>(arena));
+    dirty.fill(-1);
+  }
+  Tensor<std::int16_t> zeroed(shape, ArenaAllocator<std::int16_t>(arena));
+  for (std::int64_t i = 0; i < zeroed.num_elements(); ++i)
+    ASSERT_EQ(zeroed.at_flat(i), 0) << i;
+  {
+    Tensor<std::int16_t> refill(shape, std::int16_t{5},
+                                ArenaAllocator<std::int16_t>(arena));
+    for (std::int64_t i = 0; i < refill.num_elements(); ++i)
+      ASSERT_EQ(refill.at_flat(i), 5) << i;
+  }
+}
+
+TEST(TensorArena, CopiesAndComparisonsCrossAllocators) {
+  // Value semantics must not care where the bytes live: an arena tensor
+  // and a heap tensor with equal contents compare equal, and copies
+  // work in both directions.
+  auto arena = std::make_shared<TensorArena>();
+  Tensor<std::int16_t> pooled(Shape{2, 3},
+                              ArenaAllocator<std::int16_t>(arena));
+  pooled.at(1, 2) = 42;
+  Tensor<std::int16_t> heap = pooled;  // copy keeps the arena allocator
+  EXPECT_EQ(heap, pooled);
+  Tensor<std::int16_t> plain(Shape{2, 3});
+  plain.at(1, 2) = 42;
+  EXPECT_EQ(plain, pooled);
+  plain.at(0, 0) = 1;
+  EXPECT_NE(plain, pooled);
+
+  // Moves steal the pooled buffer rather than copying it.
+  const void* block = pooled.data().data();
+  Tensor<std::int16_t> moved = std::move(pooled);
+  EXPECT_EQ(moved.data().data(), block);
+}
+
+TEST(TensorArena, NullArenaAllocatorIsPlainHeap) {
+  const ArenaAllocator<std::int16_t> alloc;
+  EXPECT_EQ(alloc.arena(), nullptr);
+  Tensor<std::int16_t> t(Shape{8}, alloc);  // must not crash or pool
+  EXPECT_EQ(t.num_elements(), 8);
+  EXPECT_EQ(t.at_flat(0), 0);
+}
+
+}  // namespace
+}  // namespace chainnn
