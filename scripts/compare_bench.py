@@ -36,7 +36,13 @@ against the committed baseline and fails (exit 1) when:
     parse error or wire-vs-direct digest mismatch, loses a request
     (completed + cancelled + rejected must cover every submit), or its
     p99 latency blows past 4x baseline (with an absolute floor
-    absorbing scheduler jitter on small runs).
+    absorbing scheduler jitter on small runs);
+  * the durability section (when present in both files) shows request
+    journaling costing more than 10% of journal-off throughput (the
+    ratio is same-run A/B — runner speed cancels, so the margin is
+    tight), a crash-drill recovery that did not replay exactly the
+    in-flight set the cut journal describes, or any failed request on
+    either journaling side or during recovery.
 
 Either file may carry an optional "analyze" stanza (at any nesting
 level) recording static-analysis provenance — compiler, -Wthread-safety
@@ -57,6 +63,7 @@ RPS_DROP_TOLERANCE = 0.25  # fail below 75% of baseline
 HIT_RATE_DROP_TOLERANCE = 0.05  # fail below baseline - 5 points
 GATEWAY_P99_TOLERANCE = 4.0  # fail above 4x baseline p99
 GATEWAY_P99_FLOOR_MS = 50.0  # ... but never below this absolute budget
+JOURNAL_OVERHEAD_FLOOR = 0.9  # journal-on rps >= 0.9x journal-off rps
 
 
 def strip_analyze(obj):
@@ -251,6 +258,34 @@ def main(argv):
     elif (gw is None) != (gw_base is None):
         gate.check("gateway section", gw_base is not None, gw is not None,
                    False, "present in both current and baseline")
+
+    dur = current.get("durability")
+    dur_base = baseline.get("durability")
+    if dur is not None and dur_base is not None:
+        # Same-run A/B: journal-on vs journal-off rps from this very run,
+        # so runner speed cancels and the 0.9 floor can stay tight.
+        gate.check(
+            "durability.overhead_ratio",
+            dur_base["overhead_ratio"],
+            dur["overhead_ratio"],
+            dur["overhead_ratio"] >= JOURNAL_OVERHEAD_FLOOR,
+            f">= {JOURNAL_OVERHEAD_FLOOR} (journal-on rps vs journal-off)",
+        )
+        gate.check(
+            "durability.recovery_replayed",
+            dur_base["recovery_replayed"],
+            dur["recovery_replayed"],
+            dur["recovery_replayed"] == dur["recovery_expected_in_flight"]
+            and dur["recovery_replayed"] > 0,
+            "== recovery_expected_in_flight, > 0 (no lost/duplicated "
+            "requests across the crash)",
+        )
+        gate.check("durability.failed", 0, dur["failed"],
+                   dur["failed"] == 0, "== 0")
+    elif (dur is None) != (dur_base is None):
+        gate.check("durability section", dur_base is not None,
+                   dur is not None, False,
+                   "present in both current and baseline")
 
     title = "### BENCH_serve regression gate\n\n"
     report = title + gate.table() + "\n"

@@ -74,6 +74,20 @@ def serve_doc():
             "p999_ms": 20.0,
             "rps": 300.0,
         },
+        "durability": {
+            "requests": 12,
+            "journal_off_rps": 35.0,
+            "journal_on_rps": 34.0,
+            "overhead_ratio": 0.97,
+            "journal_records": 24,
+            "journal_bytes": 34912,
+            "journal_fsyncs": 3,
+            "recovery_expected_in_flight": 12,
+            "recovery_replayed": 12,
+            "recovery_resumed_from_checkpoint": 0,
+            "recovery_wall_ms": 340.0,
+            "failed": 0,
+        },
     }
 
 
@@ -224,6 +238,57 @@ class GateTest(unittest.TestCase):
         a, b = serve_doc(), serve_doc()
         self.assertIsNot(a["fleet"]["admission"], b["fleet"]["admission"])
         self.assertEqual(a, copy.deepcopy(b))
+
+    def test_durability_overhead_over_floor_passes(self):
+        # The ratio is same-run A/B, so it is compared against the fixed
+        # 0.9 floor, not against the baseline's own ratio — a faster
+        # baseline run must never fail a current run that meets the floor.
+        current = serve_doc()
+        current["durability"]["overhead_ratio"] = 0.91
+        baseline = serve_doc()
+        baseline["durability"]["overhead_ratio"] = 1.05
+        self.assertEqual(self.run_gate(current, baseline), 0)
+
+    def test_durability_journal_too_expensive_fails(self):
+        current = serve_doc()
+        current["durability"]["overhead_ratio"] = 0.85
+        self.assertEqual(self.run_gate(current, serve_doc()), 1)
+
+    def test_durability_lost_request_in_recovery_fails(self):
+        # Replay must cover exactly the in-flight set of the cut journal:
+        # one short is a lost request, regardless of the baseline counts.
+        current = serve_doc()
+        current["durability"]["recovery_replayed"] = 11
+        self.assertEqual(self.run_gate(current, serve_doc()), 1)
+
+    def test_durability_empty_recovery_fails(self):
+        # The bench cuts the journal right after its last SUBMIT, so a
+        # drill that found nothing in flight means the cut (or the
+        # analysis) is broken, not that the system is durable.
+        current = serve_doc()
+        current["durability"]["recovery_expected_in_flight"] = 0
+        current["durability"]["recovery_replayed"] = 0
+        self.assertEqual(self.run_gate(current, serve_doc()), 1)
+
+    def test_durability_failed_request_fails(self):
+        current = serve_doc()
+        current["durability"]["failed"] = 1
+        self.assertEqual(self.run_gate(current, serve_doc()), 1)
+
+    def test_durability_section_must_match_presence(self):
+        current = serve_doc()
+        del current["durability"]
+        self.assertEqual(self.run_gate(current, serve_doc()), 1)
+        baseline = serve_doc()
+        del baseline["durability"]
+        self.assertEqual(self.run_gate(serve_doc(), baseline), 1)
+
+    def test_durability_absent_everywhere_is_fine(self):
+        current = serve_doc()
+        baseline = serve_doc()
+        del current["durability"]
+        del baseline["durability"]
+        self.assertEqual(self.run_gate(current, baseline), 0)
 
     def test_analyze_stanza_in_current_only_passes(self):
         # The static-analysis provenance stanza is documentation, not a

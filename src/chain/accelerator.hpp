@@ -48,6 +48,12 @@ struct LayerRunResult {
   [[nodiscard]] double achieved_ops_per_s() const;
   [[nodiscard]] double utilization() const;
 
+  // The clock the run was stamped with (what seconds() divides by).
+  // restore_clock_hz exists for checkpoint deserialization only
+  // (serve/durable.cpp), which must rebuild results verbatim.
+  [[nodiscard]] double clock_hz() const { return clock_hz_; }
+  void restore_clock_hz(double clock_hz) { clock_hz_ = clock_hz; }
+
  private:
   friend class ChainAccelerator;
   friend LayerRunResult merge_shard_results(

@@ -398,6 +398,23 @@ std::string Gateway::metrics_text() const {
           "Busiest chip's cumulative modelled busy seconds.",
           fleet.modelled_makespan_seconds());
 
+  // -- durability (all zero for a fleet without a journal) -----------------
+  w.counter("chainnn_journal_records_appended_total",
+            "Records appended to the request journal.",
+            static_cast<double>(fleet.journal.records_appended));
+  w.counter("chainnn_journal_bytes_appended_total",
+            "Framed journal bytes appended (excluding the header).",
+            static_cast<double>(fleet.journal.bytes_appended));
+  w.counter("chainnn_journal_fsyncs_total",
+            "fsync() calls issued by the journal writer.",
+            static_cast<double>(fleet.journal.fsyncs));
+  w.counter("chainnn_fleet_recovered_requests_total",
+            "In-flight requests replayed by Fleet::recover().",
+            static_cast<double>(fleet.recovered_requests));
+  w.counter("chainnn_fleet_checkpoint_handoffs_total",
+            "Recovered checkpoints resumed on a different chip.",
+            static_cast<double>(fleet.checkpoint_handoffs));
+
   // -- plan cache ----------------------------------------------------------
   w.counter("chainnn_plan_cache_hits_total", "Plan cache lookup hits.",
             static_cast<double>(fleet.plan_cache.hits));

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 
 namespace chainnn::serve {
 
@@ -54,10 +55,44 @@ Fleet::Fleet(FleetOptions options)
     so.preemption_hook = [router, c](std::int64_t, double retired_seconds) {
       router->complete(c, retired_seconds);
     };
-    so.completion_hook = [router, c](const InferenceResult& r) {
+    // The raw Journal pointer in the hooks is safe: opts_ (and its
+    // journal shared_ptr) outlives servers_ — members destroy in
+    // reverse declaration order, and ~InferenceServer joins its drains.
+    Journal* journal = opts_.journal.get();
+    so.completion_hook = [router, c, journal](const InferenceResult& r) {
       router->complete(c, std::max(0.0, r.modelled_seconds -
                                             r.modelled_seconds_retired));
+      // Terminal record *after* the backlog retire and *before* the
+      // future resolves (the server fires this hook first), so a log
+      // with a terminal record never describes a request a caller has
+      // not yet been able to observe as done.
+      if (journal && r.tag != 0) {
+        switch (r.status) {
+          case RequestStatus::kOk:
+            journal->append(encode_complete(r.tag));
+            break;
+          case RequestStatus::kCancelled:
+            journal->append(encode_cancel(r.tag,
+                                          r.deadline_expired
+                                              ? CancelReason::kDeadline
+                                              : CancelReason::kToken));
+            break;
+          case RequestStatus::kFailed:
+            journal->append(encode_cancel(r.tag, CancelReason::kFailed));
+            break;
+          case RequestStatus::kRejected:
+            break;  // rejections are journaled at submit, not here
+        }
+      }
     };
+    if (journal) {
+      const std::string chip_name = chip.name;
+      so.checkpoint_hook = [journal, chip_name](
+                               std::uint64_t tag,
+                               const chain::RunCheckpoint& cp) {
+        journal->append(encode_checkpoint_payload(tag, chip_name, cp));
+      };
+    }
     servers_.push_back(std::make_unique<InferenceServer>(std::move(so)));
   }
 }
@@ -72,13 +107,14 @@ std::optional<double> admission_deadline_s(const RequestOptions& options) {
 }  // namespace
 
 std::optional<std::future<InferenceResult>> Fleet::try_reject(
-    const RouteDecision& decision) {
+    const RouteDecision& decision, std::uint64_t tag) {
   if (decision.admitted) return std::nullopt;
   // Infeasible on every chip: resolve the future right here with
   // kRejected. The router charged nothing, no server ever sees the
   // request, and the trace rollups skip it like any non-kOk entry.
   ++rejected_;
   InferenceResult r;
+  r.tag = tag;
   r.status = RequestStatus::kRejected;
   r.chip = decision.chip_name;  // best (still infeasible) chip, for info
   r.modelled_seconds = decision.request_seconds;
@@ -86,6 +122,34 @@ std::optional<std::future<InferenceResult>> Fleet::try_reject(
   std::future<InferenceResult> future = promise.get_future();
   promise.set_value(std::move(r));
   return future;
+}
+
+void Fleet::journal_submit(const RouteDecision& decision,
+                           const nn::NetworkModel& net,
+                           const Tensor<std::int16_t>& input,
+                           RequestOptions& options) {
+  if (!opts_.journal) return;
+  if (options.tag == 0) options.tag = 1 + next_tag_.fetch_add(1);
+  SubmitRecord rec;
+  rec.tag = options.tag;
+  rec.chip_name = decision.chip_name;
+  rec.net = net;
+  rec.input = input;
+  rec.priority = options.priority;
+  rec.num_workers = options.num_workers;
+  rec.verify_against_golden = options.verify_against_golden;
+  rec.exec_mode = options.exec_mode;
+  rec.array = options.array;
+  rec.inter_layer = options.inter_layer;
+  // SUBMIT hits the log *before* the request can reach a chip queue, so
+  // a crash at any later point finds the request journaled: the
+  // recovery either sees a terminal record too (done) or replays it —
+  // a request is never silently lost.
+  opts_.journal->append(encode_submit(rec));
+  // A refused admission is terminal at submit; pair the records here so
+  // the log never carries a dangling SUBMIT for a request that already
+  // resolved kRejected.
+  if (!decision.admitted) opts_.journal->append(encode_reject(options.tag));
 }
 
 std::future<InferenceResult> Fleet::submit(nn::NetworkModel net,
@@ -102,7 +166,9 @@ std::future<InferenceResult> Fleet::submit(nn::NetworkModel net,
   const RouteDecision decision = router_->route_and_dispatch(
       net, input.shape().dim(0), input.shape().dim(2), input.shape().dim(3),
       options.inter_layer, options.array, admission_deadline_s(options));
-  if (auto rejected = try_reject(decision))
+  journal_submit(decision, net, input, options);
+  const std::uint64_t tag = options.tag;
+  if (auto rejected = try_reject(decision, tag))
     return std::move(*rejected);
   options.modelled_seconds = decision.request_seconds;
   try {
@@ -110,6 +176,11 @@ std::future<InferenceResult> Fleet::submit(nn::NetworkModel net,
                                            std::move(options));
   } catch (...) {
     router_->retract(decision);
+    // The enqueue never happened, so no completion hook will ever write
+    // a terminal record — close the SUBMIT out here or a recovery would
+    // replay a request whose submitter saw an exception.
+    if (opts_.journal && tag != 0)
+      opts_.journal->append(encode_cancel(tag, CancelReason::kFailed));
     throw;
   }
 }
@@ -123,10 +194,23 @@ std::future<InferenceResult> Fleet::submit(const nn::NetworkModel& net,
   CHAINNN_CHECK_MSG(options.num_workers >= 1,
                     "num_workers must be >= 1, got " << options.num_workers);
   const nn::ConvLayerParams& first = net.conv_layers.front();
+  if (opts_.journal) {
+    // A journaled SUBMIT must carry the concrete input tensor (the
+    // server-side generator keys on per-server request ids, which
+    // restart from 1 with the process and so cannot reproduce the input
+    // after a crash). Generate it here, keyed by the durable tag, and
+    // take the explicit-input path.
+    if (options.tag == 0) options.tag = 1 + next_tag_.fetch_add(1);
+    Tensor<std::int16_t> input(
+        Shape{batch, first.in_channels, first.in_height, first.in_width});
+    Rng rng(opts_.input_seed ^ (0x9E3779B97F4A7C15ull * options.tag));
+    input.fill_random(rng, -64, 64);
+    return submit(net, std::move(input), std::move(options));
+  }
   const RouteDecision decision = router_->route_and_dispatch(
       net, batch, first.in_height, first.in_width, options.inter_layer,
       options.array, admission_deadline_s(options));
-  if (auto rejected = try_reject(decision))
+  if (auto rejected = try_reject(decision, options.tag))
     return std::move(*rejected);
   options.modelled_seconds = decision.request_seconds;
   try {
@@ -135,6 +219,99 @@ std::future<InferenceResult> Fleet::submit(const nn::NetworkModel& net,
     router_->retract(decision);
     throw;
   }
+}
+
+RecoveryReport Fleet::recover(const std::string& journal_path,
+                              const std::string& plan_snapshot_path) {
+  RecoveryReport report;
+  if (!plan_snapshot_path.empty()) {
+    const SnapshotLoadResult snap =
+        load_plan_cache(*cache_, plan_snapshot_path);
+    report.plan_cache_entries_loaded = snap.entries_loaded;
+  }
+  JournalAnalysis log = analyze_journal_file(journal_path);
+  report.journal_submits = log.submits;
+  report.journal_completed = log.completed;
+  report.journal_cancelled = log.cancelled;
+  report.journal_rejected = log.rejected;
+  report.truncated_tail = log.truncated_tail;
+  report.checksum_errors = log.checksum_errors;
+
+  // New tags must clear every journaled one: replays keep their original
+  // tags and post-recovery submits continue past the maximum.
+  std::uint64_t cur = next_tag_.load();
+  while (cur < log.max_tag &&
+         !next_tag_.compare_exchange_weak(cur, log.max_tag)) {
+  }
+
+  const std::vector<ChipSpec>& fleet_chips = router_->chips();
+  for (InFlightRequest& req : log.in_flight) {
+    SubmitRecord& s = req.submit;
+    RequestOptions options;
+    options.tag = s.tag;
+    options.priority = static_cast<std::int32_t>(s.priority);
+    options.num_workers = s.num_workers;
+    options.verify_against_golden = s.verify_against_golden;
+    options.exec_mode = s.exec_mode;
+    options.array = s.array;
+    options.inter_layer = s.inter_layer;
+    if (req.checkpoint) {
+      options.resume = req.checkpoint;
+      ++report.resumed_from_checkpoint;
+    }
+
+    // Pin the replay to the chip that held it pre-crash — the chip the
+    // last checkpoint was captured on, else the chip the router placed
+    // it on — so a same-topology recovery reproduces the original run
+    // bit for bit (same array => same plans, cycles and ofmaps).
+    const std::string& pin_name =
+        req.checkpoint ? req.checkpoint_chip : s.chip_name;
+    std::optional<std::size_t> pin;
+    for (std::size_t c = 0; c < fleet_chips.size(); ++c) {
+      if (fleet_chips[c].name == pin_name) {
+        pin = c;
+        break;
+      }
+    }
+
+    std::future<InferenceResult> fut;
+    if (pin) {
+      // Manual dispatch: charge the pinned chip's backlog exactly as
+      // route_and_dispatch would have, then enqueue directly.
+      RouteDecision d;
+      d.chip = *pin;
+      d.chip_name = pin_name;
+      d.request_seconds = router_->modelled_request_seconds(
+          *pin, s.net, s.input.shape().dim(0), s.input.shape().dim(2),
+          s.input.shape().dim(3), s.inter_layer, s.array);
+      router_->dispatch(d);
+      journal_submit(d, s.net, s.input, options);
+      options.modelled_seconds = d.request_seconds;
+      try {
+        fut = servers_[*pin]->submit(std::move(s.net), std::move(s.input),
+                                     std::move(options));
+      } catch (...) {
+        router_->retract(d);
+        if (opts_.journal)
+          opts_.journal->append(encode_cancel(s.tag, CancelReason::kFailed));
+        throw;
+      }
+    } else {
+      // The pre-crash chip is not part of this fleet: fall back to
+      // normal routing. With a checkpoint in hand this is the
+      // cross-chip handoff — the resumed layers re-plan for the new
+      // chip and the ofmaps stay value-identical (the PR-5 guarantee).
+      if (req.checkpoint) {
+        ++handoffs_;
+        ++report.checkpoint_handoffs;
+      }
+      fut = submit(std::move(s.net), std::move(s.input), std::move(options));
+    }
+    ++recovered_;
+    ++report.replayed;
+    report.futures.emplace_back(s.tag, std::move(fut));
+  }
+  return report;
 }
 
 RouteDecision Fleet::plan_route(const nn::NetworkModel& net,
@@ -253,6 +430,9 @@ FleetStats Fleet::stats() const {
     out.chips.push_back(std::move(chip));
   }
   out.rejected = rejected_.load();
+  out.recovered_requests = recovered_.load();
+  out.checkpoint_handoffs = handoffs_.load();
+  if (opts_.journal) out.journal = opts_.journal->stats();
   out.plan_cache = cache_->stats();
   return out;
 }

@@ -27,9 +27,12 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "serve/durable.hpp"
 #include "serve/inference_server.hpp"
+#include "serve/journal.hpp"
 #include "serve/router.hpp"
 
 namespace chainnn::serve {
@@ -58,6 +61,15 @@ struct FleetOptions {
   // Base seed for generated inputs; each chip decorrelates it so two
   // chips never draw identical request inputs from equal local ids.
   std::uint64_t input_seed = 7;
+  // Durable request journal (see serve/journal.hpp). When set, every
+  // submit is assigned a fleet-wide tag and journaled (SUBMIT with the
+  // routed chip and the concrete input tensor) before it reaches a chip
+  // queue; every preemption journals its checkpoint; every outcome
+  // journals a terminal record (COMPLETE / CANCEL / REJECT). A later
+  // process can then Fleet::recover() the log: requests with a terminal
+  // record are done, the rest are replayed — from their last journaled
+  // checkpoint when one exists. nullptr = no journaling (zero overhead).
+  std::shared_ptr<Journal> journal;
 };
 
 struct FleetChipStats {
@@ -86,6 +98,14 @@ struct FleetStats {
   // rejected request never reaches a chip server, so it appears in no
   // per-chip counter.
   std::int64_t rejected = 0;
+  // Durability counters (all zero for a fleet without a journal).
+  JournalStats journal;                     // the fleet journal's appends
+  std::int64_t recovered_requests = 0;      // replayed by recover()
+  // Recovered checkpoints resumed on a different chip than the one that
+  // captured them (the original chip is gone from this fleet). The
+  // resumed run re-plans the remaining layers for the new chip: ofmaps
+  // stay value-identical, cycles are the new chip's.
+  std::int64_t checkpoint_handoffs = 0;
   PlanCacheStats plan_cache;
   // Tensor-pool figures summed over the chips (each chip owns its own
   // arena; high_water_bytes sums the per-chip peaks, an upper bound on
@@ -105,6 +125,26 @@ struct FleetStats {
   // single chip would need is the *sum* of that chip's modelled seconds
   // over all requests — see Router::modelled_request_seconds.
   [[nodiscard]] double modelled_makespan_seconds() const;
+};
+
+// What Fleet::recover() did with a journal: the log's totals, the
+// requests it replayed, and a future per replay so the caller can await
+// (and check) every recovered result.
+struct RecoveryReport {
+  std::int64_t journal_submits = 0;   // SUBMIT records in the log
+  std::int64_t journal_completed = 0; // terminal COMPLETE records
+  std::int64_t journal_cancelled = 0; // terminal CANCEL records
+  std::int64_t journal_rejected = 0;  // terminal REJECT records
+  std::int64_t replayed = 0;          // in-flight requests resubmitted
+  std::int64_t resumed_from_checkpoint = 0;  // replays with a checkpoint
+  std::int64_t checkpoint_handoffs = 0;  // resumed on a different chip
+  std::int64_t plan_cache_entries_loaded = 0;  // snapshot warm-start
+  bool truncated_tail = false;   // the log ended in a torn record
+  std::int64_t checksum_errors = 0;
+  // One (tag, future) per replayed request, in original submission
+  // order. Tags are the journaled ones, so results can be matched
+  // against pre-crash expectations.
+  std::vector<std::pair<std::uint64_t, std::future<InferenceResult>>> futures;
 };
 
 class Fleet {
@@ -136,6 +176,32 @@ class Fleet {
       const nn::NetworkModel& net, std::int64_t batch,
       const RequestOptions& options = {}) const;
 
+  // Replays a crashed fleet's journal into this one. Requests with a
+  // terminal record are left alone; every other SUBMIT is resubmitted in
+  // its original order — resuming from its last journaled checkpoint
+  // when one exists. A replay is pinned to the chip that held it before
+  // the crash (checkpoint chip first, routed chip otherwise) so a
+  // same-topology recovery reproduces the pre-crash results bit for bit
+  // (ofmaps AND cycles); when that chip is not part of this fleet the
+  // request falls back to normal earliest-finish routing — for a
+  // checkpointed request that is a cross-chip handoff (counted in
+  // FleetStats::checkpoint_handoffs): remaining layers re-plan for the
+  // new chip and the final ofmaps stay value-identical.
+  //
+  // `plan_snapshot_path`, when non-empty, first warm-starts the shared
+  // PlanCache from a save_plan_cache() snapshot.
+  //
+  // If this fleet journals (FleetOptions::journal), replayed requests
+  // are re-journaled under their original tags, so recovery is
+  // idempotent: a second recovery from the new log finds every replay
+  // either terminal or in-flight-with-checkpoint, never duplicated.
+  // Throws JournalError on a missing/garbled journal (bad magic,
+  // version mismatch); a torn tail or checksum failure is NOT an error —
+  // the valid prefix recovers and the report flags the damage.
+  [[nodiscard]] RecoveryReport recover(const std::string& journal_path,
+                                       const std::string& plan_snapshot_path =
+                                           "");
+
   // Blocks until every chip drained its queue.
   void wait_idle();
 
@@ -152,7 +218,15 @@ class Fleet {
  private:
   // Shared admission/rejection bookkeeping for both submit overloads.
   [[nodiscard]] std::optional<std::future<InferenceResult>> try_reject(
-      const RouteDecision& decision);
+      const RouteDecision& decision, std::uint64_t tag);
+  // Claims the request's fleet-wide tag (when journaling and not already
+  // assigned by recovery) and appends its SUBMIT record — and, for a
+  // refused admission, the REJECT record — to the journal. No-op without
+  // a journal.
+  void journal_submit(const RouteDecision& decision,
+                      const nn::NetworkModel& net,
+                      const Tensor<std::int16_t>& input,
+                      RequestOptions& options);
 
   // Concurrency contract: Fleet itself holds no mutex. Every mutable
   // member is either written once in the constructor and read-only
@@ -164,6 +238,11 @@ class Fleet {
   FleetOptions opts_;
   std::shared_ptr<PlanCache> cache_;
   std::atomic<std::int64_t> rejected_{0};
+  // Fleet-wide durable tags (monotone from 1; recover() bumps it past
+  // the journaled maximum so post-recovery submits never collide).
+  std::atomic<std::uint64_t> next_tag_{0};
+  std::atomic<std::int64_t> recovered_{0};
+  std::atomic<std::int64_t> handoffs_{0};
   // Destruction order matters: the chip servers' worker threads call the
   // router from their completion and preemption hooks, so router_ must
   // outlive servers_ (members are destroyed in reverse declaration

@@ -157,6 +157,10 @@ std::future<InferenceResult> InferenceServer::submit(
   task.net = std::move(net);
   task.input = std::move(input);
   task.options = std::move(options);
+  // A recovered checkpoint enters through the same banked-checkpoint
+  // slot a live preemption uses, so the resume path downstream is
+  // identical (execute_request adopts the prefix, is_resume counts it).
+  task.checkpoint = std::move(task.options.resume);
   return enqueue(std::move(task));
 }
 
@@ -183,6 +187,7 @@ std::future<InferenceResult> InferenceServer::submit(
   task.input.fill_random(rng, -64, 64);
   task.net = net;
   task.options = std::move(options);
+  task.checkpoint = std::move(task.options.resume);
   return enqueue(std::move(task));
 }
 
@@ -267,6 +272,7 @@ chain::NetworkRunResult InferenceServer::run_network(
 std::optional<InferenceResult> InferenceServer::execute_request(Task& task) {
   InferenceResult out;
   out.request_id = task.id;
+  out.tag = task.options.tag;
   out.chip = opts_.name;
   out.modelled_seconds = task.options.modelled_seconds;
   out.resumed = task.checkpoint != nullptr;
@@ -387,6 +393,10 @@ std::optional<InferenceResult> InferenceServer::execute_request(Task& task) {
     task.checkpoint = cp;
     ++task.preempt_count;
     if (opts_.preemption_hook) opts_.preemption_hook(task.id, retired);
+    // Journal the banked prefix (after the backlog credit, so a replay
+    // from this checkpoint observes the same accounting order).
+    if (opts_.checkpoint_hook && task.options.tag != 0)
+      opts_.checkpoint_hook(task.options.tag, *cp);
     return std::nullopt;
   }
   out.preemptions = task.preempt_count;
@@ -463,6 +473,7 @@ void InferenceServer::drain_loop() {
     bool preempted = false;
     if (dead_on_arrival) {
       result.request_id = task.id;
+      result.tag = task.options.tag;
       result.chip = opts_.name;
       result.modelled_seconds = task.options.modelled_seconds;
       result.modelled_seconds_retired = task.modelled_retired;
@@ -549,6 +560,7 @@ void InferenceServer::drain_loop() {
         // and routed accounting to retire the request.
         InferenceResult failed;
         failed.request_id = task.id;
+        failed.tag = task.options.tag;
         failed.chip = opts_.name;
         failed.modelled_seconds = task.options.modelled_seconds;
         failed.modelled_seconds_retired = task.modelled_retired;

@@ -121,6 +121,19 @@ struct RequestOptions {
   // dispatches the request; echoed back on InferenceResult so completion
   // hooks can retire the backlog they admitted. Informational here.
   double modelled_seconds = 0.0;
+  // Fleet-wide durable id, stamped by Fleet::submit when the fleet
+  // journals (0 = not journaled). Unlike request_id — which is
+  // per-server and restarts from 1 with the process — the tag is unique
+  // across chips and across restarts, so journal records written before
+  // a crash still identify requests replayed after it. Echoed on
+  // InferenceResult and passed to every journal-facing hook.
+  std::uint64_t tag = 0;
+  // Resume this request from a recovered checkpoint instead of running
+  // it from scratch (Fleet::recover). The first execution attempt adopts
+  // the checkpointed layer prefix verbatim; on the chip that captured
+  // the checkpoint the final result is bit-identical to an uninterrupted
+  // run, on any other chip the ofmaps stay value-identical.
+  std::shared_ptr<chain::RunCheckpoint> resume;
   // Forwarded to NetworkRunOptions.
   bool verify_against_golden = false;
   std::vector<chain::InterLayerOp> inter_layer;
@@ -135,6 +148,8 @@ struct FidelityReport {
 
 struct InferenceResult {
   std::int64_t request_id = 0;
+  // Fleet-wide durable id (RequestOptions::tag), 0 when not journaled.
+  std::uint64_t tag = 0;
   RequestStatus status = RequestStatus::kOk;
   chain::ExecMode exec_mode = chain::ExecMode::kAnalytical;
   chain::NetworkRunResult run;  // empty when status == kCancelled
@@ -246,6 +261,13 @@ struct ServerOptions {
   // modelled backlog ("resume-aware backlog accounting").
   std::function<void(std::int64_t request_id, double retired_seconds)>
       preemption_hook;
+  // Called (outside the server lock) right after a preemption banks a
+  // checkpoint, with the request's durable tag and the checkpoint
+  // itself. The Fleet journals it so a crash between the preemption and
+  // the eventual completion can resume from the banked layer prefix
+  // instead of replaying from scratch. Fires after preemption_hook.
+  std::function<void(std::uint64_t tag, const chain::RunCheckpoint& cp)>
+      checkpoint_hook;
   // Seed for inputs generated by the submit(net, batch, ...) overload.
   std::uint64_t input_seed = 7;
   // Called once per request, outside the server lock, immediately

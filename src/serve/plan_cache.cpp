@@ -108,6 +108,21 @@ std::uint64_t PlanCache::size() const {
   return map_.size();
 }
 
+std::vector<PlanCache::EntryInputs> PlanCache::entry_inputs() const {
+  MutexLock lock(mu_);
+  std::vector<EntryInputs> out;
+  out.reserve(map_.size());
+  // lru_ front = MRU, so snapshots preserve recency order (the loader
+  // replays them LRU-first to rebuild the same ordering).
+  for (const dataflow::PlanKey& key : lru_) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) continue;  // unreachable; defensive
+    const dataflow::ExecutionPlan& plan = *it->second.plan;
+    out.push_back({plan.layer, plan.array, plan.memory});
+  }
+  return out;
+}
+
 void PlanCache::clear() {
   MutexLock lock(mu_);
   map_.clear();

@@ -27,6 +27,7 @@
 #include <list>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/thread_annotations.hpp"
 #include "dataflow/plan.hpp"
@@ -104,6 +105,18 @@ class PlanCache {
   [[nodiscard]] std::uint64_t size() const;
   [[nodiscard]] const PlanCacheOptions& options() const { return opts_; }
   void clear();  // drops entries and resets the hit/miss counters
+
+  // The (layer, array, memory) inputs of every resident entry, MRU
+  // first — everything a snapshot needs to rebuild the cache, because a
+  // plan is a pure function of these inputs (re-planning them on load
+  // reproduces each entry field for field). Used by durable.cpp's
+  // PlanCache snapshot writer.
+  struct EntryInputs {
+    nn::ConvLayerParams layer;
+    dataflow::ArrayShape array;
+    mem::HierarchyConfig memory;
+  };
+  [[nodiscard]] std::vector<EntryInputs> entry_inputs() const;
 
  private:
   struct Entry {
