@@ -54,6 +54,7 @@
 #include "nn/conv_kernel.hpp"
 #include "nn/golden.hpp"
 #include "nn/models.hpp"
+#include "serve/design_search.hpp"
 #include "serve/durable.hpp"
 #include "serve/fleet.hpp"
 #include "serve/inference_server.hpp"
@@ -617,6 +618,32 @@ bool run_durability_phase(const CliFlags& flags, std::ostringstream& json) {
   return failed == 0 && replays_ok;
 }
 
+// Design-space-search phase: runs serve::DesignSearch over the paper
+// grid on the full (unscaled) model and reports exploration throughput
+// plus the frontier/pruning shape. Appends `"dse": {...}` to `json`.
+// Returns false when the frontier is empty, the paper's 576@700
+// instantiation fell off it, or dominance pruning eliminated nothing —
+// any of which means the search or the closed-form evaluator regressed.
+bool run_dse_phase(const CliFlags& flags, std::ostringstream& json) {
+  const nn::NetworkModel net =
+      nn::model_by_name(flags.get_string("dse-model"));
+  serve::DesignSearchOptions opts;
+  opts.max_points = std::max<std::int64_t>(1, flags.get_int("dse-max-points"));
+  serve::DesignSearch search(net, serve::DesignSpaceGrid::paper_default(),
+                             opts);
+  const serve::DesignSearchStats s = search.run().stats;
+  json << ", \"dse\": {\"model\": \"" << net.name << "\""
+       << ", \"evaluated\": " << s.evaluated
+       << ", \"points_per_sec\": " << s.points_per_sec
+       << ", \"infeasible\": " << s.infeasible
+       << ", \"pruned\": " << s.pruned
+       << ", \"pruned_fraction\": " << s.pruned_fraction()
+       << ", \"frontier\": " << s.frontier << ", \"waves\": " << s.waves
+       << ", \"contains_paper_point\": "
+       << (s.contains_paper_point ? "true" : "false") << "}";
+  return s.frontier > 0 && s.contains_paper_point && s.pruned > 0;
+}
+
 int run_serve_bench(int argc, const char* const* argv) {
   CliFlags flags;
   const std::map<std::string, std::string> defaults = {
@@ -626,7 +653,8 @@ int run_serve_bench(int argc, const char* const* argv) {
       {"fidelity-every", "4"},   {"json", "BENCH_serve.json"},
       {"fleet", "false"},        {"fleet-requests", "24"},
       {"fleet-threads", "1"},    {"fleet-fidelity-every", "6"},
-      {"kernel-scale", "8"},     {"durability-requests", "12"}};
+      {"kernel-scale", "8"},     {"durability-requests", "12"},
+      {"dse-model", "alexnet"},  {"dse-max-points", "12000"}};
   std::string error;
   if (!flags.parse(argc, argv, defaults, &error)) {
     std::cerr << "bench_micro serve mode: " << error << "\n"
@@ -713,6 +741,7 @@ int run_serve_bench(int argc, const char* const* argv) {
   if (flags.get_bool("fleet")) fleet_ok = run_fleet_phase(flags, json);
   const bool kernel_ok = run_kernel_phase(flags, json);
   const bool durability_ok = run_durability_phase(flags, json);
+  const bool dse_ok = run_dse_phase(flags, json);
   json << "}";
   std::cout << json.str() << "\n";
 
@@ -729,9 +758,10 @@ int run_serve_bench(int argc, const char* const* argv) {
   // complete, every fidelity sample must cross-check clean, the routed
   // fleet must beat the best single chip in modelled throughput, the
   // kernel dispatcher must stay bit-identical to the scalar reference,
-  // and the crash drill must replay exactly the journalled in-flight set.
+  // the crash drill must replay exactly the journalled in-flight set,
+  // and the design-space search must keep the paper point Pareto-optimal.
   return stats.failed == 0 && fidelity_divergences == 0 && fleet_ok &&
-                 kernel_ok && durability_ok
+                 kernel_ok && durability_ok && dse_ok
              ? 0
              : 2;
 }

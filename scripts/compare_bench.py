@@ -287,6 +287,34 @@ def main(argv):
                    dur is not None, False,
                    "present in both current and baseline")
 
+    dse = current.get("dse")
+    dse_base = baseline.get("dse")
+    if dse is not None and dse_base is not None:
+        # The design-space search's structural invariants: a non-empty
+        # Pareto frontier that still contains the paper's 576-PE/700MHz
+        # instantiation, with dominance pruning actually eliminating
+        # points (a zero pruned fraction means the evaluator or the
+        # dominance test regressed into never firing).
+        gate.check("dse.frontier", dse_base["frontier"], dse["frontier"],
+                   dse["frontier"] > 0, "> 0 (non-empty Pareto frontier)")
+        gate.check(
+            "dse.contains_paper_point",
+            dse_base["contains_paper_point"],
+            dse["contains_paper_point"],
+            dse["contains_paper_point"] is True,
+            "paper 576@700 point on the frontier",
+        )
+        gate.check(
+            "dse.pruned_fraction",
+            dse_base["pruned_fraction"],
+            dse["pruned_fraction"],
+            dse["pruned_fraction"] > 0,
+            "> 0 (dominance pruning eliminates points)",
+        )
+    elif (dse is None) != (dse_base is None):
+        gate.check("dse section", dse_base is not None, dse is not None,
+                   False, "present in both current and baseline")
+
     title = "### BENCH_serve regression gate\n\n"
     report = title + gate.table() + "\n"
     print(report)

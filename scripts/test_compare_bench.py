@@ -88,6 +88,17 @@ def serve_doc():
             "recovery_wall_ms": 340.0,
             "failed": 0,
         },
+        "dse": {
+            "model": "alexnet",
+            "evaluated": 12000,
+            "points_per_sec": 250000.0,
+            "infeasible": 0,
+            "pruned": 11700,
+            "pruned_fraction": 0.975,
+            "frontier": 299,
+            "waves": 9,
+            "contains_paper_point": True,
+        },
     }
 
 
@@ -288,6 +299,37 @@ class GateTest(unittest.TestCase):
         baseline = serve_doc()
         del current["durability"]
         del baseline["durability"]
+        self.assertEqual(self.run_gate(current, baseline), 0)
+
+    def test_dse_empty_frontier_fails(self):
+        current = serve_doc()
+        current["dse"]["frontier"] = 0
+        self.assertEqual(self.run_gate(current, serve_doc()), 1)
+
+    def test_dse_paper_point_off_frontier_fails(self):
+        current = serve_doc()
+        current["dse"]["contains_paper_point"] = False
+        self.assertEqual(self.run_gate(current, serve_doc()), 1)
+
+    def test_dse_zero_pruning_fails(self):
+        current = serve_doc()
+        current["dse"]["pruned"] = 0
+        current["dse"]["pruned_fraction"] = 0.0
+        self.assertEqual(self.run_gate(current, serve_doc()), 1)
+
+    def test_dse_section_must_match_presence(self):
+        current = serve_doc()
+        del current["dse"]
+        self.assertEqual(self.run_gate(current, serve_doc()), 1)
+        baseline = serve_doc()
+        del baseline["dse"]
+        self.assertEqual(self.run_gate(serve_doc(), baseline), 1)
+
+    def test_dse_absent_everywhere_is_fine(self):
+        current = serve_doc()
+        baseline = serve_doc()
+        del current["dse"]
+        del baseline["dse"]
         self.assertEqual(self.run_gate(current, baseline), 0)
 
     def test_analyze_stanza_in_current_only_passes(self):

@@ -1,0 +1,81 @@
+#include "dataflow/point_cost.hpp"
+
+#include <exception>
+
+#include "common/check.hpp"
+
+namespace chainnn::dataflow {
+
+LayerCostModel layer_cost_model(const ExecutionPlan& plan) {
+  LayerCostModel m;
+  m.kernel_load_cycles = plan.kernel_load_cycles_per_batch();
+  m.stream_cycles_per_image = plan.stream_cycles_per_image();
+  m.drain_cycles = plan.drain_cycles();
+  m.rates = energy::rates_from_plan(plan);
+  return m;
+}
+
+PointCost accumulate_point_cost(
+    const std::vector<const LayerCostModel*>& layers, double clock_hz,
+    std::int64_t num_pes, std::int64_t batch,
+    const energy::EnergyModel& energy, double area_gates) {
+  CHAINNN_CHECK_MSG(batch >= 1, "batch must be >= 1, got " << batch);
+  CHAINNN_CHECK(clock_hz > 0 && num_pes > 0);
+  PointCost cost;
+  cost.area_gates = area_gates;
+  for (const LayerCostModel* m : layers) {
+    // The engines' accounting exactly: kernel loads once per batch,
+    // streaming per image, the chain drain overlapping the streams and
+    // paid once per run (chain::analytical_stats, which the
+    // cycle-accurate simulator matches count for count).
+    const std::int64_t cycles = m->kernel_load_cycles +
+                                batch * m->stream_cycles_per_image +
+                                m->drain_cycles;
+    const double seconds = static_cast<double>(cycles) / clock_hz;
+    const energy::PowerBreakdown power =
+        energy.power(m->rates, clock_hz, num_pes);
+    cost.total_cycles += cycles;
+    cost.seconds += seconds;
+    cost.energy_j += power.total() * seconds;
+  }
+  return cost;
+}
+
+std::uint64_t point_sram_bytes(const ArrayShape& array,
+                               const mem::HierarchyConfig& memory) {
+  return memory.imemory_bytes + memory.omemory_bytes +
+         static_cast<std::uint64_t>(array.num_pes) *
+             static_cast<std::uint64_t>(array.kmem_words_per_pe) *
+             memory.word_bytes;
+}
+
+PointCost estimate_point_cost(const std::vector<nn::ConvLayerParams>& layers,
+                              const ArrayShape& array,
+                              const mem::HierarchyConfig& memory,
+                              const PointCostOptions& options) {
+  std::vector<LayerCostModel> models;
+  models.reserve(layers.size());
+  for (const nn::ConvLayerParams& layer : layers) {
+    try {
+      const ExecutionPlan plan = options.plan_source
+                                     ? options.plan_source(layer, array, memory)
+                                     : plan_layer(layer, array, memory);
+      models.push_back(layer_cost_model(plan));
+    } catch (const std::exception& e) {
+      PointCost cost;
+      cost.feasible = false;
+      cost.infeasible_reason = layer.name + ": " + e.what();
+      return cost;
+    }
+  }
+  std::vector<const LayerCostModel*> refs;
+  refs.reserve(models.size());
+  for (const LayerCostModel& m : models) refs.push_back(&m);
+  return accumulate_point_cost(refs, array.clock_hz, array.num_pes,
+                               options.batch, options.energy,
+                               options.area.total_gates(
+                                   array.num_pes,
+                                   point_sram_bytes(array, memory)));
+}
+
+}  // namespace chainnn::dataflow

@@ -10,10 +10,24 @@ struct AreaModel {
   // including control); Eyeriss is quoted at 11.02k gates per PE.
   double gates_per_pe = 6510.0;
   double control_overhead_gates = 1240.0;  // 3751k - 576*6.51k
+  // On-chip SRAM in NAND2-equivalent gates per byte: a 6T cell per bit
+  // is 48 transistors per byte, i.e. 12 four-transistor NAND2
+  // equivalents. Only the sram overload below charges it — the paper's
+  // Table V gate counts (pinned by tests) are logic-only and unchanged.
+  double sram_gate_equiv_per_byte = 12.0;
 
   [[nodiscard]] double total_gates(std::int64_t num_pes) const {
     return gates_per_pe * static_cast<double>(num_pes) +
            control_overhead_gates;
+  }
+  // Logic plus on-chip SRAM (iMemory + oMemory + kMemory bytes), so a
+  // design-space search comparing points that differ in memory sizing
+  // sees the area cost of the extra capacity, not just the chain.
+  [[nodiscard]] double total_gates(std::int64_t num_pes,
+                                   std::uint64_t onchip_sram_bytes) const {
+    return total_gates(num_pes) +
+           sram_gate_equiv_per_byte *
+               static_cast<double>(onchip_sram_bytes);
   }
 };
 

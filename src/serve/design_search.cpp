@@ -1,0 +1,423 @@
+#include "serve/design_search.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.hpp"
+#include "serve/router.hpp"
+
+namespace chainnn::serve {
+
+namespace {
+
+// Per-layer cost models for one (chain length, kmem words, omem bytes)
+// combination — everything a point needs except its clock and channel
+// mask, both of which are outside the plan entirely. A search over C
+// clocks and 2^L masks builds each combination exactly once.
+struct ComboModels {
+  bool feasible = true;
+  std::string reason;
+  // [layer][mode]; mode 0 = single-channel, 1 = dual-channel. The plan
+  // is mode-independent (dual_channel is outside PlanKey), so both
+  // models read the same plan, re-stamped with the mode they cost.
+  std::vector<std::array<dataflow::LayerCostModel, 2>> layers;
+  double area_gates = 0.0;
+};
+
+std::uint64_t combo_key(std::int32_t pes, std::int32_t kmem,
+                        std::int32_t omem) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(pes)) << 42) ^
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(kmem)) << 21) ^
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(omem));
+}
+
+struct IdHash {
+  std::size_t operator()(const DesignPointId& id) const { return id.hash(); }
+};
+
+template <typename T>
+std::int32_t index_of(const std::vector<T>& axis, T value) {
+  for (std::size_t i = 0; i < axis.size(); ++i)
+    if (axis[i] == value) return static_cast<std::int32_t>(i);
+  return -1;
+}
+
+}  // namespace
+
+std::size_t DesignPointId::hash() const {
+  // FNV-1a over the canonical fields.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint32_t>(pes));
+  mix(static_cast<std::uint32_t>(clock));
+  mix(static_cast<std::uint32_t>(kmem));
+  mix(static_cast<std::uint32_t>(omem));
+  mix(mode_mask);
+  return static_cast<std::size_t>(h);
+}
+
+bool EvaluatedDesignPoint::uniform_mode() const {
+  if (layer_dual.empty()) return true;
+  for (const std::uint8_t d : layer_dual)
+    if (d != layer_dual.front()) return false;
+  return true;
+}
+
+DesignSpaceGrid DesignSpaceGrid::paper_default() {
+  DesignSpaceGrid g;
+  g.num_pes = {72,  144, 216, 288,  360,  432,  504,  576,
+               648, 720, 864, 1008, 1152, 1440, 1728, 2304};
+  for (int mhz = 200; mhz <= 1200; mhz += 50)
+    g.clock_hz.push_back(static_cast<double>(mhz) * 1e6);
+  g.kmem_words_per_pe = {64, 128, 256, 512};
+  // The paper's 25KB oMemory caps the axis: larger oMemories strictly
+  // reduce cycles through better output blocking, so extending above the
+  // paper's provisioning would push the 576@700 instantiation off the
+  // frontier by construction. The search asks what *cheaper* memory
+  // provisioning trades away, not whether more SRAM helps (it does).
+  g.omemory_bytes = {4 * 1024, 8 * 1024, 12 * 1024, 16 * 1024, 25 * 1024};
+  return g;
+}
+
+struct DesignSearch::Impl {
+  static constexpr std::size_t kStripes = 64;
+
+  std::vector<nn::ConvLayerParams> layers;
+  DesignPointId paper_id;
+  bool grid_has_paper_point = false;
+
+  struct ComboStripe {
+    Mutex mu;
+    std::unordered_map<std::uint64_t, std::shared_ptr<const ComboModels>>
+        map CHAINNN_GUARDED_BY(mu);
+  };
+  std::array<ComboStripe, kStripes> combos;
+
+  struct VisitStripe {
+    Mutex mu;
+    std::unordered_set<DesignPointId, IdHash> set CHAINNN_GUARDED_BY(mu);
+  };
+  std::array<VisitStripe, kStripes> visited;
+
+  Mutex frontier_mu;
+  std::vector<EvaluatedDesignPoint> frontier CHAINNN_GUARDED_BY(frontier_mu);
+
+  // First sight of a canonical form wins; later discoverers see false.
+  bool visit(const DesignPointId& id) {
+    VisitStripe& s = visited[id.hash() % kStripes];
+    MutexLock lock(s.mu);
+    return s.set.insert(id).second;
+  }
+
+  // Insert-if-undominated; evicts members the newcomer dominates. The
+  // final content is the unique Pareto-maximal subset of everything ever
+  // offered, whatever the arrival order — which is the determinism
+  // argument for concurrent maintenance.
+  void offer(const EvaluatedDesignPoint& p) {
+    MutexLock lock(frontier_mu);
+    for (const EvaluatedDesignPoint& e : frontier)
+      if (e.cost.dominates(p.cost)) return;
+    std::erase_if(frontier, [&p](const EvaluatedDesignPoint& e) {
+      return p.cost.dominates(e.cost);
+    });
+    frontier.push_back(p);
+  }
+};
+
+DesignSearch::DesignSearch(nn::NetworkModel network, DesignSpaceGrid grid,
+                           DesignSearchOptions options)
+    : net_(std::move(network)),
+      grid_(std::move(grid)),
+      opts_(std::move(options)),
+      impl_(std::make_unique<Impl>()) {
+  CHAINNN_CHECK_MSG(!net_.conv_layers.empty(),
+                    "cannot search an empty network");
+  CHAINNN_CHECK_MSG(opts_.batch >= 1,
+                    "batch must be >= 1, got " << opts_.batch);
+  const auto strictly_increasing = [](const auto& axis) {
+    if (axis.empty()) return false;
+    for (std::size_t i = 1; i < axis.size(); ++i)
+      if (!(axis[i - 1] < axis[i])) return false;
+    return true;
+  };
+  CHAINNN_CHECK_MSG(strictly_increasing(grid_.num_pes) &&
+                        strictly_increasing(grid_.clock_hz) &&
+                        strictly_increasing(grid_.kmem_words_per_pe) &&
+                        strictly_increasing(grid_.omemory_bytes),
+                    "every grid axis must be non-empty and strictly "
+                    "increasing");
+
+  const nn::ConvLayerParams& first = net_.conv_layers.front();
+  impl_->layers = resolve_network_layers(net_, opts_.batch, first.in_height,
+                                         first.in_width, opts_.inter_layer);
+  CHAINNN_CHECK_MSG(!grid_.per_layer_channel_modes ||
+                        impl_->layers.size() <= 64,
+                    "per-layer channel modes support at most 64 layers, got "
+                        << impl_->layers.size());
+}
+
+DesignSearch::~DesignSearch() = default;
+
+DesignSearchResult DesignSearch::run() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t num_layers = impl_->layers.size();
+  const std::uint64_t all_dual =
+      num_layers >= 64 ? ~0ull : ((1ull << num_layers) - 1);
+
+  // The paper point's canonical id, when the grid contains it.
+  {
+    DesignPointId id;
+    id.pes = index_of<std::int64_t>(grid_.num_pes, 576);
+    id.clock = index_of<double>(grid_.clock_hz, 700e6);
+    id.kmem = index_of<std::int64_t>(grid_.kmem_words_per_pe, 256);
+    id.omem = index_of<std::uint64_t>(grid_.omemory_bytes, 25 * 1024);
+    id.mode_mask = all_dual;
+    impl_->grid_has_paper_point =
+        id.pes >= 0 && id.clock >= 0 && id.kmem >= 0 && id.omem >= 0;
+    if (impl_->grid_has_paper_point) impl_->paper_id = id;
+  }
+
+  DesignPointId seed;
+  if (impl_->grid_has_paper_point) {
+    seed = impl_->paper_id;
+  } else {
+    seed.pes = static_cast<std::int32_t>(grid_.num_pes.size() / 2);
+    seed.clock = static_cast<std::int32_t>(grid_.clock_hz.size() / 2);
+    seed.kmem = static_cast<std::int32_t>(grid_.kmem_words_per_pe.size() / 2);
+    seed.omem = static_cast<std::int32_t>(grid_.omemory_bytes.size() / 2);
+    seed.mode_mask = all_dual;
+  }
+
+  const auto models_for = [this](const DesignPointId& id)
+      -> std::shared_ptr<const ComboModels> {
+    const std::uint64_t key = combo_key(id.pes, id.kmem, id.omem);
+    Impl::ComboStripe& stripe =
+        impl_->combos[key % Impl::kStripes];
+    {
+      MutexLock lock(stripe.mu);
+      const auto it = stripe.map.find(key);
+      if (it != stripe.map.end()) return it->second;
+    }
+    // Build outside the stripe lock (pure — a racing duplicate build
+    // produces an identical object and is discarded below).
+    auto built = std::make_shared<ComboModels>();
+    dataflow::ArrayShape array;
+    array.num_pes = grid_.num_pes[static_cast<std::size_t>(id.pes)];
+    array.kmem_words_per_pe =
+        grid_.kmem_words_per_pe[static_cast<std::size_t>(id.kmem)];
+    array.clock_hz = grid_.clock_hz.front();  // unused by the models
+    mem::HierarchyConfig memory;
+    memory.omemory_bytes =
+        grid_.omemory_bytes[static_cast<std::size_t>(id.omem)];
+    memory.kmemory_bytes = static_cast<std::uint64_t>(array.num_pes) *
+                           static_cast<std::uint64_t>(
+                               array.kmem_words_per_pe) *
+                           memory.word_bytes;
+    built->area_gates = opts_.area.total_gates(
+        array.num_pes, dataflow::point_sram_bytes(array, memory));
+    for (const nn::ConvLayerParams& layer : impl_->layers) {
+      try {
+        dataflow::ExecutionPlan plan =
+            opts_.plan_cache ? opts_.plan_cache->plan_for(layer, array, memory)
+                             : dataflow::plan_layer(layer, array, memory);
+        std::array<dataflow::LayerCostModel, 2> modes;
+        plan.array.dual_channel = false;
+        modes[0] = dataflow::layer_cost_model(plan);
+        plan.array.dual_channel = true;
+        modes[1] = dataflow::layer_cost_model(plan);
+        built->layers.push_back(modes);
+      } catch (const std::exception& e) {
+        built->feasible = false;
+        built->reason = layer.name + ": " + e.what();
+        break;
+      }
+    }
+    MutexLock lock(stripe.mu);
+    const auto [it, inserted] = stripe.map.emplace(key, std::move(built));
+    return it->second;
+  };
+
+  const auto evaluate = [this, &models_for,
+                         num_layers](const DesignPointId& id) {
+    EvaluatedDesignPoint p;
+    p.id = id;
+    p.array.num_pes = grid_.num_pes[static_cast<std::size_t>(id.pes)];
+    p.array.kmem_words_per_pe =
+        grid_.kmem_words_per_pe[static_cast<std::size_t>(id.kmem)];
+    p.array.clock_hz = grid_.clock_hz[static_cast<std::size_t>(id.clock)];
+    p.memory.omemory_bytes =
+        grid_.omemory_bytes[static_cast<std::size_t>(id.omem)];
+    p.memory.kmemory_bytes = static_cast<std::uint64_t>(p.array.num_pes) *
+                             static_cast<std::uint64_t>(
+                                 p.array.kmem_words_per_pe) *
+                             p.memory.word_bytes;
+    p.layer_dual.resize(num_layers);
+    for (std::size_t i = 0; i < num_layers; ++i)
+      p.layer_dual[i] =
+          static_cast<std::uint8_t>((id.mode_mask >> i) & 1);
+    {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "pes%lld-clk%d-kw%lld-om%lluk",
+                    static_cast<long long>(p.array.num_pes),
+                    static_cast<int>(p.array.clock_hz / 1e6),
+                    static_cast<long long>(p.array.kmem_words_per_pe),
+                    static_cast<unsigned long long>(
+                        p.memory.omemory_bytes / 1024));
+      p.label = buf;
+      const std::uint64_t all =
+          num_layers >= 64 ? ~0ull : ((1ull << num_layers) - 1);
+      if (id.mode_mask != all) {
+        std::snprintf(buf, sizeof(buf), "-m%llx",
+                      static_cast<unsigned long long>(id.mode_mask));
+        p.label += buf;
+      }
+    }
+    const std::shared_ptr<const ComboModels> combo = models_for(id);
+    if (!combo->feasible) {
+      p.cost.feasible = false;
+      p.cost.infeasible_reason = combo->reason;
+      return p;
+    }
+    std::vector<const dataflow::LayerCostModel*> refs;
+    refs.reserve(num_layers);
+    for (std::size_t i = 0; i < num_layers; ++i)
+      refs.push_back(&combo->layers[i][p.layer_dual[i]]);
+    p.cost = dataflow::accumulate_point_cost(refs, p.array.clock_hz,
+                                             p.array.num_pes, opts_.batch,
+                                             opts_.energy, combo->area_gates);
+    return p;
+  };
+
+  const auto neighbors = [this, num_layers](const DesignPointId& id,
+                                            std::vector<DesignPointId>& out) {
+    out.clear();
+    const auto step = [&out, &id](std::int32_t DesignPointId::* axis,
+                                  std::int32_t limit) {
+      DesignPointId n = id;
+      if (id.*axis > 0) {
+        n.*axis = id.*axis - 1;
+        out.push_back(n);
+      }
+      if (id.*axis + 1 < limit) {
+        n.*axis = id.*axis + 1;
+        out.push_back(n);
+      }
+    };
+    step(&DesignPointId::pes, static_cast<std::int32_t>(grid_.num_pes.size()));
+    step(&DesignPointId::clock,
+         static_cast<std::int32_t>(grid_.clock_hz.size()));
+    step(&DesignPointId::kmem,
+         static_cast<std::int32_t>(grid_.kmem_words_per_pe.size()));
+    step(&DesignPointId::omem,
+         static_cast<std::int32_t>(grid_.omemory_bytes.size()));
+    if (grid_.per_layer_channel_modes) {
+      for (std::size_t i = 0; i < num_layers && i < 64; ++i) {
+        DesignPointId n = id;
+        n.mode_mask = id.mode_mask ^ (1ull << i);
+        out.push_back(n);
+      }
+    }
+  };
+
+  const bool serial = opts_.num_workers == 1;
+  common::WorkPool* pool =
+      serial ? nullptr
+             : (opts_.pool ? opts_.pool : &common::WorkPool::shared());
+
+  DesignSearchResult result;
+  DesignSearchStats& stats = result.stats;
+
+  std::vector<DesignPointId> wave = {seed};
+  impl_->visit(seed);
+  while (!wave.empty()) {
+    ++stats.waves;
+    std::vector<EvaluatedDesignPoint> evald(wave.size());
+    const std::size_t chunk = 64;
+    const std::size_t num_chunks = (wave.size() + chunk - 1) / chunk;
+    std::vector<std::vector<DesignPointId>> discovered(num_chunks);
+
+    const auto process = [&](std::size_t c) {
+      std::vector<DesignPointId> scratch;
+      const std::size_t lo = c * chunk;
+      const std::size_t hi = std::min(wave.size(), lo + chunk);
+      for (std::size_t i = lo; i < hi; ++i) {
+        evald[i] = evaluate(wave[i]);
+        if (evald[i].cost.feasible) impl_->offer(evald[i]);
+        // Pruned or not, the point expands: coverage of the reachable
+        // grid is what makes the frontier the exact Pareto set (see
+        // header comment); pruning saves storage, not reachability.
+        neighbors(wave[i], scratch);
+        for (const DesignPointId& n : scratch)
+          if (impl_->visit(n)) discovered[c].push_back(n);
+      }
+    };
+    if (serial || num_chunks == 1) {
+      for (std::size_t c = 0; c < num_chunks; ++c) process(c);
+    } else {
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(num_chunks);
+      for (std::size_t c = 0; c < num_chunks; ++c)
+        tasks.push_back([&process, c] { process(c); });
+      pool->run_batch(std::move(tasks));
+    }
+
+    stats.evaluated += static_cast<std::int64_t>(wave.size());
+    for (const EvaluatedDesignPoint& p : evald)
+      if (!p.cost.feasible) ++stats.infeasible;
+    if (opts_.collect_evaluated)
+      result.evaluated.insert(result.evaluated.end(),
+                              std::make_move_iterator(evald.begin()),
+                              std::make_move_iterator(evald.end()));
+
+    std::vector<DesignPointId> next;
+    for (std::vector<DesignPointId>& d : discovered)
+      next.insert(next.end(), d.begin(), d.end());
+    // Which chunk won a contended visit() is timing-dependent; the
+    // union is not. Canonical order restores determinism.
+    std::sort(next.begin(), next.end());
+    if (opts_.max_points > 0) {
+      const std::int64_t remaining = opts_.max_points - stats.evaluated;
+      if (remaining <= 0) break;
+      if (static_cast<std::int64_t>(next.size()) > remaining)
+        next.resize(static_cast<std::size_t>(remaining));
+    }
+    wave = std::move(next);
+  }
+
+  {
+    MutexLock lock(impl_->frontier_mu);
+    result.frontier = impl_->frontier;
+  }
+  std::sort(result.frontier.begin(), result.frontier.end(),
+            [](const EvaluatedDesignPoint& a, const EvaluatedDesignPoint& b) {
+              return a.id < b.id;
+            });
+  stats.frontier = static_cast<std::int64_t>(result.frontier.size());
+  stats.pruned = stats.evaluated - stats.infeasible - stats.frontier;
+  if (impl_->grid_has_paper_point)
+    for (const EvaluatedDesignPoint& p : result.frontier)
+      if (p.id == impl_->paper_id) {
+        stats.contains_paper_point = true;
+        break;
+      }
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  stats.points_per_sec =
+      stats.wall_seconds > 0.0
+          ? static_cast<double>(stats.evaluated) / stats.wall_seconds
+          : 0.0;
+  return result;
+}
+
+}  // namespace chainnn::serve

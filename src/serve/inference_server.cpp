@@ -50,9 +50,33 @@ bool network_runs_identical(const chain::NetworkRunResult& a,
         la.traffic.kmemory_bytes != lb.traffic.kmemory_bytes ||
         la.traffic.omemory_bytes != lb.traffic.omemory_bytes)
       return fail("traffic differs at layer " + name);
+    // Power is a pure function of the plan, so the engines must agree on
+    // it bit for bit; comparing it (and the energy rollups below)
+    // extends fidelity sampling to the figures capacity planning
+    // consumes, not just the tensors.
+    const energy::PowerBreakdown& pa = a.layers[i].power;
+    const energy::PowerBreakdown& pb = b.layers[i].power;
+    if (pa.chain_w != pb.chain_w || pa.kmem_w != pb.kmem_w ||
+        pa.imem_w != pb.imem_w || pa.omem_w != pb.omem_w)
+      return fail("power differs at layer " + name);
   }
   if (!(a.final_activations == b.final_activations))
     return fail("final activations differ");
+  // Whole-run rollups: LayerTraffic totals and the energy/time figures.
+  // Per-layer identity already implies these, but the rollups are what
+  // dashboards and sweeps actually read, so pin them directly too.
+  std::uint64_t traffic_a = 0, traffic_b = 0;
+  for (const auto& l : a.layers)
+    traffic_a += l.run.traffic.dram_bytes + l.run.traffic.imemory_bytes +
+                 l.run.traffic.kmemory_bytes + l.run.traffic.omemory_bytes;
+  for (const auto& l : b.layers)
+    traffic_b += l.run.traffic.dram_bytes + l.run.traffic.imemory_bytes +
+                 l.run.traffic.kmemory_bytes + l.run.traffic.omemory_bytes;
+  if (traffic_a != traffic_b) return fail("traffic rollup differs");
+  if (a.total_energy_j() != b.total_energy_j())
+    return fail("energy rollup differs");
+  if (a.total_seconds() != b.total_seconds())
+    return fail("seconds rollup differs");
   return true;
 }
 

@@ -45,9 +45,10 @@
 //
 // Fidelity sampling: with ServerOptions::fidelity_sample_every_n = N,
 // every Nth request is re-executed on the *other* engine (analytical ↔
-// cycle-accurate) and the two runs are cross-checked — ofmaps, cycles
-// and per-level traffic must be bit-identical (the PR-2 equivalence
-// guarantee, now continuously monitored in production traffic).
+// cycle-accurate) and the two runs are cross-checked — ofmaps, cycles,
+// per-level traffic, per-layer power and the whole-run traffic/energy
+// rollups must be bit-identical (the PR-2 equivalence guarantee, now
+// continuously monitored in production traffic).
 // Divergences are recorded in ServerStats and flagged on the result.
 #pragma once
 
@@ -70,8 +71,9 @@ namespace chainnn::serve {
 
 // True when two network runs agree on every figure the engines must
 // reproduce identically: per-layer ofmaps/accumulators, total cycles,
-// per-level traffic, and the final activations. `why`, if given,
-// receives a description of the first mismatch.
+// per-level traffic, per-layer power, the final activations, and the
+// whole-run traffic/energy/seconds rollups. `why`, if given, receives a
+// description of the first mismatch.
 [[nodiscard]] bool network_runs_identical(const chain::NetworkRunResult& a,
                                           const chain::NetworkRunResult& b,
                                           std::string* why = nullptr);

@@ -23,6 +23,7 @@ std::vector<SweepPointResult> SweepDriver::run(
     const std::vector<SweepPointSpec>& points) {
   ServerOptions so;
   so.accelerator.exec_mode = opts_.exec_mode;
+  if (opts_.memory) so.accelerator.memory = *opts_.memory;
   so.num_threads = opts_.server_threads;
   so.max_queue = std::max<std::int64_t>(
       1, static_cast<std::int64_t>(points.size()));
@@ -76,7 +77,12 @@ std::vector<SweepPointResult> SweepDriver::run(
                 : static_cast<double>(opts_.batch) / r.seconds;
     r.fidelity_sampled = res.fidelity.sampled;
     r.fidelity_diverged = res.fidelity.diverged;
+    // Server-side stamps: wall_ms covers the execution attempts only,
+    // queue_ms the wait before pickup. Folding the wait into wall_ms
+    // would charge earlier points' service time to whichever point
+    // queued behind them whenever the server is shared.
     r.wall_ms = res.wall_ms;
+    r.queue_ms = res.queue_ms;
     results.push_back(std::move(r));
   }
   return results;

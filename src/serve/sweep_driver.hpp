@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -57,7 +58,14 @@ struct SweepPointResult {
 
   bool fidelity_sampled = false;
   bool fidelity_diverged = false;
-  double wall_ms = 0.0;  // host wall time executing this point
+  // Host wall time *executing* this point, stamped server-side around
+  // the execution attempts only (InferenceResult::wall_ms). Queue wait —
+  // time between submission and pickup, which with server_threads > 1 or
+  // co-tenant traffic on a shared server belongs to scheduling, not to
+  // the point — is reported separately, never folded into wall_ms
+  // (tests/serve/test_sweep_driver.cpp pins the split).
+  double wall_ms = 0.0;
+  double queue_ms = 0.0;
 };
 
 struct SweepOptions {
@@ -71,6 +79,12 @@ struct SweepOptions {
   std::shared_ptr<PlanCache> plan_cache;
   std::vector<chain::InterLayerOp> inter_layer;
   std::uint64_t input_seed = 7;
+  // Memory hierarchy of the server's accelerator, for sweeps validating
+  // design points whose oMemory differs from the paper default (the
+  // per-point ArrayShape override covers the chain and kernel-storage
+  // axes; memory capacities live in the accelerator config). nullopt
+  // keeps the default HierarchyConfig.
+  std::optional<mem::HierarchyConfig> memory;
 };
 
 class SweepDriver {

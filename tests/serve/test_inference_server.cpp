@@ -185,6 +185,55 @@ TEST(InferenceServer, InjectedDivergenceIsCaughtAndCounted) {
   EXPECT_EQ(stats.fidelity_divergences, 1);
 }
 
+TEST(InferenceServer, EnergyAndTrafficDivergencesAreCaught) {
+  // The fidelity cross-check extends past ofmaps and cycles to the
+  // LayerTraffic and energy rollups: a replay whose power or traffic
+  // figures drift — identical activations, identical cycles — must
+  // still be flagged and counted. Regression for cross-checks that
+  // compared outputs only and let cost-model divergence through.
+  const nn::NetworkModel net = tiny_net();
+  const auto run_with_mutation =
+      [&net](std::function<void(chain::NetworkRunResult&)> mutate) {
+        ServerOptions so;
+        so.fidelity_sample_every_n = 1;
+        so.fidelity_mutator_for_test =
+            [mutate = std::move(mutate)](std::int64_t,
+                                         chain::NetworkRunResult& replay) {
+              mutate(replay);
+            };
+        InferenceServer server(so);
+        const InferenceResult r = server.submit(net, /*batch=*/1).get();
+        EXPECT_TRUE(r.fidelity.sampled);
+        EXPECT_EQ(server.stats().fidelity_divergences,
+                  r.fidelity.diverged ? 1 : 0);
+        return r;
+      };
+
+  // Per-layer power drift: caught, with the layer named.
+  const InferenceResult power = run_with_mutation(
+      [](chain::NetworkRunResult& replay) {
+        replay.layers.front().power.chain_w *= 1.0 + 1e-6;
+      });
+  EXPECT_TRUE(power.fidelity.diverged);
+  EXPECT_NE(power.fidelity.detail.find("power"), std::string::npos)
+      << power.fidelity.detail;
+
+  // Traffic drift (one stray kmemory byte): caught.
+  const InferenceResult traffic = run_with_mutation(
+      [](chain::NetworkRunResult& replay) {
+        replay.layers.front().run.traffic.kmemory_bytes += 1;
+      });
+  EXPECT_TRUE(traffic.fidelity.diverged);
+  EXPECT_NE(traffic.fidelity.detail.find("traffic"), std::string::npos)
+      << traffic.fidelity.detail;
+
+  // Identity mutation: clean — the extended cross-check introduces no
+  // false positives.
+  const InferenceResult clean =
+      run_with_mutation([](chain::NetworkRunResult&) {});
+  EXPECT_FALSE(clean.fidelity.diverged) << clean.fidelity.detail;
+}
+
 TEST(InferenceServer, SharedCacheAcrossServers) {
   // Two servers sharing one cache: the second server's requests hit on
   // the first server's plans.

@@ -147,6 +147,44 @@ TEST(SweepDriver, CycleAccurateSweepMatchesAnalytical) {
   }
 }
 
+TEST(SweepDriver, WallTimeExcludesQueueWait) {
+  // The sweep's wall_ms must be the server-side execution-only stamp,
+  // with queue wait reported separately — co-tenant traffic on a shared
+  // single-threaded server must land in queue_ms, never in wall_ms.
+  // Regression for sweeps mistaking scheduling delay for point cost.
+  ServerOptions so;
+  so.num_threads = 1;
+  InferenceServer server(so);
+  const nn::NetworkModel net = tiny_net();
+  RequestOptions slow;
+  slow.exec_mode = chain::ExecMode::kCycleAccurate;  // ~50x analytical
+  RequestOptions fast;
+  fast.exec_mode = chain::ExecMode::kAnalytical;
+  auto a = server.submit(net, /*batch=*/4, slow);
+  auto b = server.submit(net, /*batch=*/4, fast);  // queues behind `a`
+  const InferenceResult ra = a.get();
+  const InferenceResult rb = b.get();
+  ASSERT_EQ(ra.status, RequestStatus::kOk);
+  ASSERT_EQ(rb.status, RequestStatus::kOk);
+  EXPECT_GT(ra.wall_ms, 0.0);
+  EXPECT_GT(rb.wall_ms, 0.0);
+  // `b` sat in the queue for (at least most of) `a`'s execution…
+  EXPECT_GE(rb.queue_ms, 0.5 * ra.wall_ms);
+  // …and none of that wait leaked into its own wall time: the analytical
+  // run is far cheaper than the cycle-accurate one it queued behind.
+  EXPECT_LT(rb.wall_ms, rb.queue_ms);
+
+  // Sweep-level: points are submitted and awaited in turn, so both
+  // stamps flow through per point and no point queues behind another.
+  SweepDriver driver(net, {});
+  for (const auto& r : driver.run(test_points())) {
+    SCOPED_TRACE(r.point.label);
+    EXPECT_GT(r.wall_ms, 0.0);
+    EXPECT_GE(r.queue_ms, 0.0);
+    EXPECT_LT(r.queue_ms, r.wall_ms + 100.0);  // no co-tenant here
+  }
+}
+
 TEST(ChannelReducedProxy, PreservesGeometryAndGrouping) {
   const nn::NetworkModel alex = nn::alexnet();
   const nn::NetworkModel proxy = channel_reduced_proxy(alex, 16);
